@@ -1,0 +1,2 @@
+"""Benchmark package: one module per reproduced table/figure (E1-E14)
+plus micro-benchmarks; run with ``pytest benchmarks/ --benchmark-only``."""

@@ -1,0 +1,22 @@
+"""Benchmark fixtures.
+
+Every experiment benchmark runs the corresponding E-module at the fast
+settings preset (small trace) exactly once (``rounds=1``): the benchmark
+clock then measures the full table/figure regeneration, and the asserts
+in each module double as shape regression checks.  For the paper-scale
+tables, run the CLI instead: ``repro run all``.
+"""
+
+import pytest
+
+from repro.experiments.config import Settings
+
+
+@pytest.fixture(scope="session")
+def fast_settings() -> Settings:
+    return Settings.fast()
+
+
+def run_experiment_once(benchmark, runner, settings):
+    """Run one experiment module under the benchmark clock."""
+    return benchmark.pedantic(runner, args=(settings,), rounds=1, iterations=1)

@@ -1,0 +1,16 @@
+"""Bench E10: regenerate the estimation-quality ablation."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments import e10_estimation
+
+
+def test_e10_estimation_quality(benchmark, fast_settings):
+    result = run_experiment_once(benchmark, e10_estimation.run, fast_settings)
+    print("\n" + result.text)
+    data = result.data
+    # warm-up estimates are good enough: close to the oracle
+    assert abs(data["warmup"]["freshness"] - data["oracle"]["freshness"]) < 0.1
+    # knowing nothing costs something
+    assert data["uniform"]["freshness"] <= data["oracle"]["freshness"] + 0.02
+    for name in ("oracle", "warmup", "ewma", "uniform"):
+        assert 0.0 <= data[name]["on_time"] <= 1.0

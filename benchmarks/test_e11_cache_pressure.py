@@ -1,0 +1,23 @@
+"""Bench E11: regenerate the cache-pressure table."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments import e11_cache_pressure
+
+
+def test_e11_cache_pressure(benchmark, fast_settings):
+    result = run_experiment_once(benchmark, e11_cache_pressure.run, fast_settings)
+    print("\n" + result.text)
+    by_config = result.data["by_config"]
+    num_items = result.data["num_items"]
+    full = by_config[f"lru@{num_items}"]
+    tight = by_config["lru@2"]
+    # slot freshness respects the structural capacity bound
+    for row in result.data["rows"]:
+        assert row["slot_freshness"] <= row["cap_bound"] + 0.02
+    # pressure costs freshness
+    assert tight["slot_freshness"] < full["slot_freshness"]
+    # but query outcomes degrade sublinearly: fresh answers fall by less
+    # than the capacity ratio would suggest
+    capacity_ratio = 2 / num_items
+    if full["fresh_answers"] > 0:
+        assert tight["fresh_answers"] > capacity_ratio * full["fresh_answers"]

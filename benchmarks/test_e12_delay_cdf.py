@@ -1,0 +1,21 @@
+"""Bench E12: regenerate the refresh-delay CDF."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments import e12_delay_cdf
+
+
+def test_e12_delay_cdf(benchmark, fast_settings):
+    result = run_experiment_once(benchmark, e12_delay_cdf.run, fast_settings)
+    print("\n" + result.text)
+    series = result.data["series"]
+    # every CDF is monotone non-decreasing in x
+    for scheme, cdf in series.items():
+        assert all(b >= a - 1e-9 for a, b in zip(cdf, cdf[1:])), scheme
+        assert all(0.0 <= v <= 1.0 for v in cdf)
+    # flooding's curve dominates hdr's, which dominates source's
+    for k in range(len(result.data["grid_fractions"])):
+        assert series["flooding"][k] >= series["hdr"][k] - 0.03
+        assert series["hdr"][k] >= series["source"][k] - 0.03
+    # delivery coverage ordering
+    coverage = result.data["coverage"]
+    assert coverage["flooding"]["delivered"] >= coverage["source"]["delivered"]

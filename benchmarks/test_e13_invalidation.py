@@ -1,0 +1,21 @@
+"""Bench E13: regenerate the refreshing-vs-invalidation table."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments import e13_invalidation
+
+
+def test_e13_invalidation(benchmark, fast_settings):
+    result = run_experiment_once(benchmark, e13_invalidation.run, fast_settings)
+    print("\n" + result.text)
+    data = result.data
+    # hdr keeps caches full; invalidation empties them toward source level
+    assert data["hdr"]["slot_fresh"] > data["invalidate"]["slot_fresh"]
+    # invalidation's answers are (near) never stale: its valid ratio is
+    # at least as good as hdr's
+    assert data["invalidate"]["valid_answers"] >= data["hdr"]["valid_answers"] - 0.05
+    # hdr answers at least as many queries as invalidation
+    assert data["hdr"]["answered"] >= data["invalidate"]["answered"] - 0.02
+    # invalidation is cheap per message: fewer kilobytes per transmission
+    kb_per_msg_inv = data["invalidate"]["kilobytes"] / data["invalidate"]["messages"]
+    kb_per_msg_hdr = data["hdr"]["kilobytes"] / data["hdr"]["messages"]
+    assert kb_per_msg_inv < kb_per_msg_hdr

@@ -1,0 +1,16 @@
+"""Bench E14: regenerate the NCL-metric ablation."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments import e14_ncl_metric
+
+
+def test_e14_ncl_metric(benchmark, fast_settings):
+    result = run_experiment_once(benchmark, e14_ncl_metric.run, fast_settings)
+    print("\n" + result.text)
+    data = result.data
+    for metric in ("contact", "degree", "betweenness", "random"):
+        assert 0.0 <= data[metric]["freshness"] <= 1.0
+        assert 0.0 <= data[metric]["answered"] <= 1.0
+    # centrality-driven selection beats (or at least matches) random
+    assert data["contact"]["freshness"] >= data["random"]["freshness"] - 0.03
+    assert data["contact"]["answered"] >= data["random"]["answered"] - 0.03

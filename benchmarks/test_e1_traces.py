@@ -1,0 +1,14 @@
+"""Bench E1: regenerate the trace-statistics table."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments import e1_traces
+
+
+def test_e1_trace_statistics(benchmark, fast_settings):
+    result = run_experiment_once(benchmark, e1_traces.run, fast_settings)
+    print("\n" + result.text)
+    assert result.exp_id == "E1"
+    stats = result.data["small"]
+    assert stats.num_nodes <= 20
+    assert stats.num_contacts > 100
+    assert stats.mean_inter_contact > 0

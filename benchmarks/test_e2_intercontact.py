@@ -1,0 +1,21 @@
+"""Bench E2: regenerate the inter-contact CCDF figure data."""
+
+import math
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments import e2_intercontact
+
+
+def test_e2_intercontact_ccdf(benchmark, fast_settings):
+    result = run_experiment_once(benchmark, e2_intercontact.run, fast_settings)
+    print("\n" + result.text)
+    series = result.data["series"]
+    grid = result.data["grid"]
+    # empirical CCDF is monotone non-increasing and near the Exp(1) line
+    for name, values in series.items():
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:])), name
+    empirical = series["small"]
+    reference = [math.exp(-x) for x in grid]
+    assert max(abs(e - r) for e, r in zip(empirical, reference)) < 0.25
+    # KS distance to the fitted exponential is small
+    assert result.data["ks"]["small"] < 0.2

@@ -1,0 +1,25 @@
+"""Bench E3: regenerate the freshness-vs-time figure (all schemes)."""
+
+import math
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments import e3_freshness_time
+
+
+def mean_of(series):
+    values = [v for v in series if not math.isnan(v)]
+    return sum(values) / len(values)
+
+
+def test_e3_freshness_over_time(benchmark, fast_settings):
+    result = run_experiment_once(benchmark, e3_freshness_time.run, fast_settings)
+    print("\n" + result.text)
+    series = result.data["series"]
+    assert set(series) == {"hdr", "flooding", "flat", "random", "source", "none"}
+    # the paper's ordering, time-averaged over the run
+    assert mean_of(series["flooding"]) >= mean_of(series["hdr"]) - 0.02
+    assert mean_of(series["hdr"]) > mean_of(series["source"])
+    assert mean_of(series["source"]) > mean_of(series["none"])
+    # no-refresh decays: its late samples are (near) zero
+    late_none = [v for v in series["none"][-3:] if not math.isnan(v)]
+    assert all(v < 0.05 for v in late_none)

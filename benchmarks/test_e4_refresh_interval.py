@@ -1,0 +1,17 @@
+"""Bench E4: regenerate freshness vs refresh interval."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments import e4_refresh_interval
+
+
+def test_e4_refresh_interval_sweep(benchmark, fast_settings):
+    result = run_experiment_once(benchmark, e4_refresh_interval.run, fast_settings)
+    print("\n" + result.text)
+    series = result.data["series"]
+    # freshness rises with the interval for every active scheme
+    for name, values in series.items():
+        assert values[-1] > values[0], name
+    # hdr dominates source at every interval; flooding dominates hdr
+    for k in range(len(result.data["intervals_h"])):
+        assert series["flooding"][k] >= series["hdr"][k] - 0.02
+        assert series["hdr"][k] > series["source"][k]

@@ -1,0 +1,20 @@
+"""Bench E5: regenerate validity vs freshness requirement."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments import e5_validity
+
+
+def test_e5_freshness_requirement_sweep(benchmark, fast_settings):
+    result = run_experiment_once(benchmark, e5_validity.run, fast_settings)
+    print("\n" + result.text)
+    requirements = result.data["requirements"]
+    planned = result.data["planned"]
+    on_time = result.data["on_time"]
+    # the analytical plan quality is non-decreasing in the requirement
+    assert all(b >= a - 1e-9 for a, b in zip(planned, planned[1:]))
+    # hdr is provisioned, source is not: hdr's achieved ratio dominates
+    for k in range(len(requirements)):
+        assert on_time["hdr"][k] > on_time["source"][k]
+    # flooding is the ceiling
+    for k in range(len(requirements)):
+        assert on_time["flooding"][k] >= on_time["hdr"][k] - 0.02

@@ -1,0 +1,29 @@
+"""Bench E6: regenerate the overhead-vs-freshness table."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments import e6_overhead
+
+
+def test_e6_overhead_table(benchmark, fast_settings):
+    result = run_experiment_once(benchmark, e6_overhead.run, fast_settings)
+    print("\n" + result.text)
+    data = result.data
+
+    def messages(name):
+        return data[name]["messages"].mean
+
+    def freshness(name):
+        return data[name]["freshness"].mean
+
+    # the paper's headline trade-off.  On the 20-node fast trace flooding's
+    # population advantage is limited, so the margin is modest; at paper
+    # scale (reality profile, 97 nodes) hdr costs ~1/3 of flooding.
+    assert messages("flooding") > messages("hdr") > messages("source")
+    assert messages("hdr") < 0.85 * messages("flooding")
+    assert freshness("hdr") > freshness("source") + 0.05
+    assert freshness("flooding") >= freshness("hdr") - 0.02
+    assert messages("none") == 0
+    # load distribution: the source does everything in source-only, but
+    # only part of the work under the hierarchy
+    assert data["source"]["src_share"] == 1.0
+    assert data["hdr"]["src_share"] < data["flat"]["src_share"]

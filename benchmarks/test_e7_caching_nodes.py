@@ -1,0 +1,22 @@
+"""Bench E7: regenerate the caching-node-count sweep."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments import e7_caching_nodes
+
+
+def test_e7_caching_node_sweep(benchmark, fast_settings):
+    result = run_experiment_once(benchmark, e7_caching_nodes.run, fast_settings)
+    print("\n" + result.text)
+    freshness = result.data["freshness"]
+    overhead = result.data["overhead"]
+    counts = result.data["counts"]
+    # hdr dominates source at every size
+    for k in range(len(counts)):
+        assert freshness["hdr"][k] > freshness["source"][k]
+    # overhead grows with the caching set for the structured schemes
+    assert overhead["hdr"][-1] > overhead["hdr"][0]
+    assert overhead["source"][-1] > overhead["source"][0]
+    # flooding's overhead is insensitive to the caching set (it floods anyway)
+    assert abs(overhead["flooding"][-1] - overhead["flooding"][0]) < 0.2 * overhead[
+        "flooding"
+    ][0]

@@ -1,0 +1,25 @@
+"""Bench E8: regenerate the ablation tables."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments import e8_ablation
+
+
+def test_e8_ablations(benchmark, fast_settings):
+    result = run_experiment_once(benchmark, e8_ablation.run, fast_settings)
+    print("\n" + result.text)
+
+    # A: rate-aware assignment beats random on freshness
+    by_name = {row["scheme"]: row for row in result.data["assignment"]}
+    assert by_name["hdr"]["freshness"] >= by_name["random"]["freshness"] - 0.02
+
+    # C: both empirical and analytical on-time ratios rise with the budget
+    budgets = sorted(result.data["relay_budget"])
+    empirical = [result.data["relay_budget"][b]["empirical"] for b in budgets]
+    analytical = [result.data["relay_budget"][b]["analytical"] for b in budgets]
+    assert empirical[-1] > empirical[0]
+    assert all(b >= a - 1e-9 for a, b in zip(analytical, analytical[1:]))
+
+    # D: every depth variant produced sane numbers
+    for row in result.data["depth"]:
+        assert 0.0 <= row["freshness"] <= 1.0
+        assert row["messages"] > 0

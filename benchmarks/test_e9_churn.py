@@ -1,0 +1,20 @@
+"""Bench E9: regenerate the churn-robustness table."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments import e9_churn
+
+
+def test_e9_churn_sweep(benchmark, fast_settings):
+    result = run_experiment_once(benchmark, e9_churn.run, fast_settings)
+    print("\n" + result.text)
+    data = result.data
+    uptimes = list(data["hdr"])  # labels, "inf" first
+    # hdr under churn stays above source at every churn level
+    for label in uptimes:
+        assert data["hdr"][label] > data["source"][label]
+    # flooding is structure-free: churn moves it by little
+    flood = [data["flooding"][label] for label in uptimes]
+    assert max(flood) - min(flood) < 0.15
+    # hdr monotonically degrades (allowing small noise) as uptime shrinks
+    hdr = [data["hdr"][label] for label in uptimes]
+    assert hdr[0] >= hdr[-1] - 0.02

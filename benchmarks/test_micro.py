@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the hot substrate paths.
+
+These use pytest-benchmark's normal repeated-measurement mode (the
+functions are fast) and guard against performance regressions in the
+engine, the trace generator, rate estimation and plan construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.contacts.rates import mle_rates
+from repro.core.replication import plan_edge
+from repro.mobility.calibration import get_profile
+from repro.mobility.synthetic import PoissonContactModel, homogeneous_rate_matrix
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return get_profile("small").generate(np.random.default_rng(1), duration=86400.0)
+
+
+def test_engine_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+
+        for k in range(10_000):
+            sim.schedule_at(float(k), tick)
+        sim.run()
+        return counter[0]
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_trace_generation(benchmark):
+    rates = homogeneous_rate_matrix(50, 2e-5)
+    model = PoissonContactModel(rates, mean_duration=120.0)
+
+    def generate():
+        return model.generate(86400.0, np.random.default_rng(3))
+
+    trace = benchmark(generate)
+    assert len(trace) > 100
+
+
+def test_rate_estimation(benchmark, small_trace):
+    rates = benchmark(mle_rates, small_trace)
+    assert len(rates) > 0
+
+
+def test_plan_edge_with_many_candidates(benchmark):
+    candidates = [(100 + k, 1e-4 * (k + 1), 2e-4) for k in range(200)]
+
+    def plan():
+        return plan_edge(0, 1, direct_rate=1e-5, relay_candidates=candidates,
+                         window=3600.0, target=0.9, max_relays=8)
+
+    plan_result = benchmark(plan)
+    assert plan_result.num_relays > 0
+
+
+def test_full_simulation_small(benchmark, small_trace):
+    """One complete HDR run on the small trace: the end-to-end unit."""
+    from repro.caching.items import DataCatalog
+    from repro.core.scheme import build_simulation
+
+    catalog = DataCatalog.uniform(
+        2, sources=[small_trace.node_ids[0]], refresh_interval=4 * 3600.0
+    )
+
+    def run():
+        runtime = build_simulation(small_trace, catalog, scheme="hdr",
+                                   num_caching_nodes=4, seed=1)
+        runtime.run(until=86400.0)
+        return runtime
+
+    runtime = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert runtime.refresh_overhead() > 0

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Campus news distribution -- the paper's motivating workload.
+
+A university department publishes news items (schedules, alerts, a
+podcast feed) that students' phones cache and share over Bluetooth-range
+contacts, without any cellular infrastructure.  Items are refreshed at
+the department's gateway device once a day and expire after two days --
+exactly the "periodically refreshed, subject to expiration" data model
+of the paper.
+
+The script runs the full comparison on a Reality-calibrated campus trace
+(97 devices, 2 weeks) and reports, per scheme:
+
+- the time-averaged cache freshness and validity,
+- the fraction of student queries answered with fresh data,
+- the refresh transmissions spent.
+
+Run:  python examples/campus_news.py   (takes ~1 minute)
+"""
+
+import numpy as np
+
+from repro import DataCatalog, build_simulation, get_profile
+from repro.analysis.metrics import freshness_summary, judge_queries
+from repro.contacts.centrality import contact_centrality, rank_nodes
+from repro.contacts.rates import mle_rates
+from repro.workloads.queries import schedule_queries
+
+DAY = 86400.0
+HORIZON = 14 * DAY
+
+
+def main() -> None:
+    rng = np.random.default_rng(2012)
+    trace = get_profile("reality").generate(rng, duration=HORIZON)
+    print(f"campus trace: {trace.num_nodes} devices, {len(trace)} contacts, "
+          f"{trace.duration / DAY:.0f} days")
+
+    # The department gateway is an ordinary, median-connected device.
+    rates = mle_rates(trace)
+    ranked = rank_nodes(contact_centrality(rates, window=6 * 3600.0))
+    gateway = ranked[len(ranked) // 2]
+    print(f"news gateway: node {gateway}")
+
+    catalog = DataCatalog.uniform(
+        num_items=8,
+        sources=[gateway],
+        refresh_interval=1 * DAY,   # daily news refresh
+        lifetime=2 * DAY,           # stale after missing two editions
+        size=4096,
+        freshness_requirement=0.9,
+    )
+
+    header = (f"{'scheme':10s} {'freshness':>9s} {'validity':>8s} "
+              f"{'fresh answers':>13s} {'messages':>8s}")
+    print("\n" + header)
+    print("-" * len(header))
+    for scheme in ("hdr", "flooding", "flat", "source", "none"):
+        runtime = build_simulation(
+            trace, catalog, scheme=scheme, num_caching_nodes=12, seed=1,
+            with_queries=True, refresh_jitter=0.25,
+        )
+        runtime.install_freshness_probe(interval=3600.0, until=HORIZON)
+        schedule_queries(
+            runtime,
+            rate_per_node=2 / DAY,  # each student checks the news twice a day
+            duration=HORIZON,
+            rng=np.random.default_rng(5),
+        )
+        runtime.run(until=HORIZON)
+
+        fresh = freshness_summary(runtime, t0=0.1 * HORIZON)
+        queries = judge_queries(runtime.query_records(), runtime.history, catalog)
+        print(f"{scheme:10s} {fresh.freshness:9.3f} {fresh.validity:8.3f} "
+              f"{queries.fresh_ratio:13.3f} {runtime.refresh_overhead():8.0f}")
+
+    print("\nReading: hdr should sit near flooding's freshness at a small "
+          "fraction of its transmissions; source-only and no-refresh trail.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Disaster-relief situational updates over bandwidth-limited contacts.
+
+After an infrastructure outage, relief teams carry devices that exchange
+data only when workers meet.  A coordination post publishes situational
+updates (road closures, supply levels) every 2 hours; an update older
+than 4 hours is dangerous to act on, so cache *validity* is the metric
+that matters, and radio contacts are short -- bandwidth is limited.
+
+This example shows two things the quickstart does not:
+
+- a custom community mobility model built directly from the generator
+  API (three field teams plus a few liaison "hub" workers), and
+- the :class:`BandwidthLimitedLink` model, showing how each scheme
+  degrades when contacts cannot carry unlimited copies -- structured
+  schemes lose whole meeting cycles per rejected transfer, while
+  flooding buys robustness with redundancy.
+
+Run:  python examples/disaster_relief.py
+"""
+
+import numpy as np
+
+from repro import DataCatalog, build_simulation
+from repro.analysis.metrics import freshness_summary
+from repro.mobility.community import CommunityModel
+from repro.sim.network import BandwidthLimitedLink
+
+HOUR = 3600.0
+HORIZON = 48 * HOUR
+
+
+def make_field_trace(rng: np.random.Generator):
+    """Three 12-person field teams; liaisons shuttle between them."""
+    model = CommunityModel(
+        n=36,
+        num_communities=3,
+        intra_rate=6e-4,       # teammates meet every ~30 min
+        inter_rate=2e-5,       # cross-team encounters are rare
+        rng=rng,
+        mean_duration=90.0,    # short radio contacts
+        hub_fraction=0.12,     # the liaison workers
+        hub_multiplier=6.0,
+        name="relief",
+    )
+    return model.generate(HORIZON, rng), model
+
+
+def main() -> None:
+    rng = np.random.default_rng(911)
+    trace, model = make_field_trace(rng)
+    print(f"field trace: {trace.num_nodes} workers, {len(trace)} contacts, "
+          f"{trace.duration / HOUR:.0f} h")
+
+    post = 0  # the coordination post's device
+    catalog = DataCatalog.uniform(
+        num_items=6,                # closures, supplies, casualties, ...
+        sources=[post],
+        refresh_interval=2 * HOUR,
+        lifetime=4 * HOUR,          # acting on older data is unsafe
+        size=8192,                  # maps attached
+        freshness_requirement=0.95,
+    )
+
+    # At 2 kbps effective goodput, a typical 90 s contact carries ~22 KB:
+    # two or three map-sized updates, not the whole catalog.
+    for label, link in (
+        ("unlimited links", None),
+        ("2 kbps radios", BandwidthLimitedLink(bandwidth_bps=2000.0)),
+    ):
+        print(f"\n--- {label} ---")
+        print(f"{'scheme':10s} {'freshness':>9s} {'validity':>8s} {'messages':>8s}")
+        for scheme in ("hdr", "flooding", "source"):
+            runtime = build_simulation(
+                trace, catalog, scheme=scheme, num_caching_nodes=9, seed=1,
+                link_model=link, refresh_jitter=0.25,
+            )
+            runtime.install_freshness_probe(interval=900.0, until=HORIZON)
+            runtime.run(until=HORIZON)
+            fresh = freshness_summary(runtime, t0=0.1 * HORIZON)
+            print(f"{scheme:10s} {fresh.freshness:9.3f} {fresh.validity:8.3f} "
+                  f"{runtime.refresh_overhead():8.0f}")
+
+    print("\nReading: tight links hurt the structured schemes most -- every "
+          "planned parent/relay transfer that does not fit costs a full "
+          "meeting cycle, while flooding's redundancy hides its losses at "
+          "roughly double the transmissions.  Provisioning against link "
+          "budgets (not just contact rates) is future work the paper's "
+          "model does not cover.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Out-of-model check: HDR on behaviourally generated mobility.
+
+The scheme's analysis assumes exponential pairwise inter-contacts.  The
+working-day model generates contacts from daily routines instead --
+households, offices, meeting spots -- so nothing guarantees the
+assumption holds.  This example runs the scheme comparison on such a
+trace and shows the ordering survives: the rate estimators capture the
+routines' *averages* well enough for the hierarchy and the relay
+provisioning to work.
+
+Run:  python examples/working_day.py
+"""
+
+import numpy as np
+
+from repro import DataCatalog, build_simulation
+from repro.analysis.metrics import freshness_summary
+from repro.contacts.intercontact import (
+    aggregate_intercontact_samples,
+    fit_exponential,
+    ks_distance,
+)
+from repro.mobility.workingday import WorkingDayModel
+
+DAY = 86400.0
+HORIZON = 10 * DAY
+
+
+def main() -> None:
+    rng = np.random.default_rng(40)
+    model = WorkingDayModel(
+        n=40, num_offices=4, num_spots=3, household_size=2,
+        meeting_prob=0.15, evening_prob=0.3, rng=rng,
+    )
+    trace = model.generate(HORIZON, rng)
+    print(f"working-day trace: {trace.num_nodes} people, {len(trace)} "
+          f"contacts, {trace.duration / DAY:.0f} days")
+
+    samples = aggregate_intercontact_samples(trace, normalise=True,
+                                             min_gaps_per_pair=3)
+    distance = ks_distance(samples, fit_exponential(samples))
+    print(f"exponential-fit KS distance: {distance:.3f} "
+          f"(routines are NOT Poisson -- that is the point)")
+
+    catalog = DataCatalog.uniform(
+        num_items=4, sources=[0], refresh_interval=1 * DAY,
+        freshness_requirement=0.9,
+    )
+    print(f"\n{'scheme':10s} {'freshness':>9s} {'messages':>8s}")
+    for scheme in ("hdr", "flooding", "flat", "source"):
+        runtime = build_simulation(
+            trace, catalog, scheme=scheme, num_caching_nodes=8, seed=1,
+            refresh_jitter=0.25,
+        )
+        runtime.install_freshness_probe(interval=3600.0, until=HORIZON)
+        runtime.run(until=HORIZON)
+        fresh = freshness_summary(runtime, t0=0.1 * HORIZON)
+        print(f"{scheme:10s} {fresh.freshness:9.3f} "
+              f"{runtime.refresh_overhead():8.0f}")
+
+    print("\nReading: the ordering (flooding > hdr >= flat > source) holds "
+          "even though inter-contacts deviate from the exponential model "
+          "the provisioning assumes -- rate *rankings* survive the model "
+          "mismatch, and rankings are all the greedy builder needs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Metrics, aggregation and table formatting for the experiments."""
+
+from repro.analysis.metrics import (
+    LoadStats,
+    QueryOutcomes,
+    RefreshOutcomes,
+    judge_queries,
+    refresh_outcomes,
+    freshness_summary,
+    transmission_load,
+)
+from repro.analysis.aggregate import Summary, summarize
+from repro.analysis.export import export_result, export_rows, export_series
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "LoadStats",
+    "QueryOutcomes",
+    "transmission_load",
+    "RefreshOutcomes",
+    "Summary",
+    "export_result",
+    "export_rows",
+    "export_series",
+    "format_series",
+    "format_table",
+    "freshness_summary",
+    "judge_queries",
+    "refresh_outcomes",
+    "summarize",
+]

@@ -1,0 +1,66 @@
+"""Aggregation across replications.
+
+Experiments run several seeds and report mean with a 95% confidence
+interval.  The interval uses the Student-t critical value (small
+replication counts are the norm here); NaN samples are dropped first.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+#: Two-sided 95% Student-t critical values by degrees of freedom; the
+#: table covers the replication counts experiments actually use and
+#: falls back to the normal value beyond it.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+
+def _t95(dof: int) -> float:
+    if dof <= 0:
+        return math.nan
+    if dof in _T95:
+        return _T95[dof]
+    for threshold in sorted(_T95):
+        if dof <= threshold:
+            return _T95[threshold]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread and 95% CI half-width of one metric."""
+
+    mean: float
+    std: float
+    ci95: float
+    n: int
+
+    def __str__(self) -> str:
+        if self.n == 0:
+            return "n/a"
+        if self.n == 1:
+            return f"{self.mean:.4f}"
+        return f"{self.mean:.4f} +/- {self.ci95:.4f}"
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summarise replication results, ignoring NaNs."""
+    clean = [v for v in values if not math.isnan(v)]
+    n = len(clean)
+    if n == 0:
+        return Summary(mean=math.nan, std=math.nan, ci95=math.nan, n=0)
+    mean = sum(clean) / n
+    if n == 1:
+        return Summary(mean=mean, std=0.0, ci95=0.0, n=1)
+    var = sum((v - mean) ** 2 for v in clean) / (n - 1)
+    std = math.sqrt(var)
+    ci95 = _t95(n - 1) * std / math.sqrt(n)
+    return Summary(mean=mean, std=std, ci95=ci95, n=n)

@@ -1,0 +1,100 @@
+"""CSV export of experiment results.
+
+Every :class:`~repro.experiments.runner.ExperimentResult` carries both
+the formatted text and the raw ``data`` dict; this module flattens the
+common data shapes (series dicts, row lists, nested summaries) into CSV
+files so results can be re-plotted outside this repository.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.runner import ExperimentResult
+
+PathLike = Union[str, Path]
+
+
+def _scalar(value: Any) -> Any:
+    """Reduce exported cells to CSV-friendly scalars."""
+    from repro.analysis.aggregate import Summary
+
+    if isinstance(value, Summary):
+        return value.mean
+    if isinstance(value, float):
+        return round(value, 6)
+    return value
+
+
+def export_series(
+    path: PathLike,
+    x_label: str,
+    x_values: list,
+    series: dict[str, list],
+) -> Path:
+    """Write figure data: one x column plus one column per series."""
+    path = Path(path)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_label, *series.keys()])
+        for k, x in enumerate(x_values):
+            row = [x]
+            for values in series.values():
+                row.append(_scalar(values[k]) if k < len(values) else "")
+            writer.writerow(row)
+    return path
+
+
+def export_rows(path: PathLike, rows: list[dict]) -> Path:
+    """Write table data: one CSV row per dict, columns from the first row."""
+    path = Path(path)
+    if not rows:
+        raise ValueError("no rows to export")
+    columns = list(rows[0].keys())
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: _scalar(value) for key, value in row.items()})
+    return path
+
+
+def export_result(result: "ExperimentResult", directory: PathLike) -> list[Path]:
+    """Export whatever tabular shapes ``result.data`` contains.
+
+    Recognised shapes, each written as ``<exp_id>_<key>.csv``:
+
+    - a list of dicts (table rows);
+    - a dict of equal-length lists next to a list under another key
+      (series: the first list-valued key is used as the x axis).
+
+    Returns the written paths (possibly empty for exotic payloads).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    data = result.data
+    x_key = next(
+        (key for key, value in data.items()
+         if isinstance(value, list) and value
+         and not isinstance(value[0], dict)),
+        None,
+    )
+    for key, value in data.items():
+        target = directory / f"{result.exp_id}_{key}.csv"
+        if isinstance(value, list) and value and isinstance(value[0], dict):
+            written.append(export_rows(target, value))
+        elif (
+            isinstance(value, dict)
+            and value
+            and all(isinstance(v, list) for v in value.values())
+            and x_key is not None
+            and key != x_key
+        ):
+            written.append(
+                export_series(target, x_key, data[x_key], value)
+            )
+    return written

@@ -1,0 +1,243 @@
+"""Metric computation over finished runs.
+
+Three families of metrics, matching the paper's evaluation:
+
+- **cache freshness** -- the probe time series recorded during the run
+  (fraction of (caching node, item) slots holding the current version /
+  an unexpired version), summarised over a measurement window;
+- **data access validity** -- each answered query judged against the
+  ground-truth version history: was the served version current (fresh)
+  and unexpired (valid) at the time it was served?
+- **refresh performance** -- per published version and caching node,
+  whether the update arrived before the next version (on time) and with
+  what delay, plus the transmission overhead spent achieving it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.caching.items import DataCatalog, VersionHistory
+from repro.caching.query import QueryRecord
+from repro.core.refresh import RefreshUpdate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.scheme import SchemeRuntime
+
+
+@dataclass
+class QueryOutcomes:
+    """Aggregate judgement of a run's queries."""
+
+    issued: int
+    answered: int
+    fresh: int
+    valid: int
+    mean_delay: float
+
+    @property
+    def answer_ratio(self) -> float:
+        return self.answered / self.issued if self.issued else math.nan
+
+    @property
+    def fresh_ratio(self) -> float:
+        """Fraction of *answered* queries served the current version."""
+        return self.fresh / self.answered if self.answered else math.nan
+
+    @property
+    def valid_ratio(self) -> float:
+        """Fraction of *answered* queries served an unexpired version."""
+        return self.valid / self.answered if self.answered else math.nan
+
+    @property
+    def end_to_end_validity(self) -> float:
+        """Fraction of *issued* queries answered with valid data."""
+        return self.valid / self.issued if self.issued else math.nan
+
+
+def judge_queries(
+    records: Iterable[QueryRecord],
+    history: VersionHistory,
+    catalog: DataCatalog,
+) -> QueryOutcomes:
+    """Judge served versions against the ground truth.
+
+    A response is *fresh* if the served version was still the current
+    version at the moment it reached the requester, and *valid* if it
+    had not expired by then.
+    """
+    issued = answered = fresh = valid = 0
+    total_delay = 0.0
+    for record in records:
+        issued += 1
+        if not record.answered:
+            continue
+        answered += 1
+        total_delay += record.delay
+        item = catalog.get(record.item_id)
+        when = record.answered_at
+        if history.is_fresh(record.item_id, record.version, when):
+            fresh += 1
+        if when < record.version_time + item.lifetime:
+            valid += 1
+    return QueryOutcomes(
+        issued=issued,
+        answered=answered,
+        fresh=fresh,
+        valid=valid,
+        mean_delay=(total_delay / answered) if answered else math.nan,
+    )
+
+
+@dataclass
+class RefreshOutcomes:
+    """Refresh-plane performance of one run."""
+
+    opportunities: int          # (version, caching node) pairs to deliver
+    delivered_on_time: int      # arrived before the next version
+    delivered_late: int         # arrived after the next version (still counted)
+    mean_delay: float           # over on-time + late deliveries
+    messages: float             # refresh-plane transmissions
+    messages_per_update: float  # overhead per useful delivery
+
+    @property
+    def on_time_ratio(self) -> float:
+        """Empirical counterpart of the freshness requirement."""
+        return self.delivered_on_time / self.opportunities if self.opportunities else math.nan
+
+
+def refresh_outcomes(
+    update_log: Iterable[RefreshUpdate],
+    history: VersionHistory,
+    catalog: DataCatalog,
+    caching_nodes: list[int],
+    horizon: float,
+    messages: float,
+) -> RefreshOutcomes:
+    """Score every refresh opportunity of a run.
+
+    An *opportunity* is one (item, version >= 2, caching node) triple
+    whose version was published at least one refresh interval before the
+    horizon (so it had a full window to arrive).  It counts as on time
+    if the node recorded the update before the next version appeared
+    (or before the horizon for the last version).
+    """
+    updates: dict[tuple[int, int, int], float] = {}
+    for update in update_log:
+        key = (update.item_id, update.version, update.node)
+        time = updates.get(key)
+        if time is None or update.updated_at < time:
+            updates[key] = update.updated_at
+
+    caching_set = set(caching_nodes)
+    opportunities = on_time = late = 0
+    delays: list[float] = []
+    for item in catalog:
+        num_versions = history.num_versions(item.item_id)
+        for version in range(2, num_versions + 1):
+            published = history.version_time(item.item_id, version)
+            if published + item.refresh_interval > horizon:
+                continue  # the window extends past the run: not scoreable
+            if version < num_versions:
+                deadline = history.version_time(item.item_id, version + 1)
+            else:
+                deadline = horizon
+            for node in caching_set:
+                opportunities += 1
+                arrived = updates.get((item.item_id, version, node))
+                if arrived is None:
+                    continue
+                delays.append(arrived - published)
+                if arrived <= deadline:
+                    on_time += 1
+                else:
+                    late += 1
+    delivered = on_time + late
+    return RefreshOutcomes(
+        opportunities=opportunities,
+        delivered_on_time=on_time,
+        delivered_late=late,
+        mean_delay=(sum(delays) / len(delays)) if delays else math.nan,
+        messages=messages,
+        messages_per_update=(messages / delivered) if delivered else math.nan,
+    )
+
+
+@dataclass
+class LoadStats:
+    """Distribution of refresh transmissions over the sending nodes.
+
+    The hierarchy's load-balancing claim: source-rooted schemes
+    concentrate transmissions at the source (high ``max_load`` and
+    ``gini``), HDR spreads them over the tree's interior nodes.
+    """
+
+    total: int
+    senders: int
+    max_load: int
+    mean_load: float
+    gini: float
+
+
+def transmission_load(runtime: "SchemeRuntime") -> LoadStats:
+    """Per-sender refresh transmission distribution of a finished run.
+
+    The runtime must have been built with ``record_transfers=True``.
+    The Gini coefficient is computed over all nodes that sent at least
+    one refresh-plane message (0 = perfectly even, 1 = one node sends
+    everything).
+    """
+    if not runtime.network.record_transfers:
+        raise ValueError("runtime was built without record_transfers=True")
+    per_sender: dict[int, int] = {}
+    for transfer in runtime.network.transfers:
+        if transfer.kind.startswith("refresh") or transfer.kind == "invalidate":
+            per_sender[transfer.sender] = per_sender.get(transfer.sender, 0) + 1
+    loads = sorted(per_sender.values())
+    total = sum(loads)
+    if not loads:
+        return LoadStats(total=0, senders=0, max_load=0, mean_load=0.0, gini=math.nan)
+    n = len(loads)
+    # Gini over the observed senders (standard discrete formula).
+    weighted = sum((2 * (k + 1) - n - 1) * x for k, x in enumerate(loads))
+    gini = weighted / (n * total) if total else math.nan
+    return LoadStats(
+        total=total,
+        senders=n,
+        max_load=loads[-1],
+        mean_load=total / n,
+        gini=gini,
+    )
+
+
+@dataclass
+class FreshnessSummary:
+    """Time-averaged probe readings over a measurement window."""
+
+    freshness: float
+    validity: float
+    samples: int
+
+
+def freshness_summary(
+    runtime: "SchemeRuntime",
+    t0: float = 0.0,
+    t1: Optional[float] = None,
+) -> FreshnessSummary:
+    """Average the freshness/validity probes over ``[t0, t1]``.
+
+    The runtime must have had :meth:`SchemeRuntime.install_freshness_probe`
+    active during the run.
+    """
+    fresh_series = runtime.stats.series("probe.freshness")
+    valid_series = runtime.stats.series("probe.validity")
+    end = runtime.sim.now if t1 is None else t1
+    fresh_vals = [v for t, v in fresh_series if t0 <= t <= end]
+    valid_vals = [v for t, v in valid_series if t0 <= t <= end]
+    return FreshnessSummary(
+        freshness=(sum(fresh_vals) / len(fresh_vals)) if fresh_vals else math.nan,
+        validity=(sum(valid_vals) / len(valid_vals)) if valid_vals else math.nan,
+        samples=len(fresh_vals),
+    )

@@ -1,0 +1,61 @@
+"""Plain-text table and series formatting.
+
+The benchmark harness prints each reproduced table and figure as an
+aligned text table -- the "same rows/series the paper reports".  Values
+may be floats, ints, strings or :class:`~repro.analysis.aggregate.Summary`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def _cell(value: Any, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Align a list of row dicts into a text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[_cell(row.get(col), precision) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(r[k]) for r in rendered)) for k, col in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[k]) for k, col in enumerate(cols))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rendered:
+        lines.append("  ".join(r[k].ljust(widths[k]) for k in range(len(cols))))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: Mapping[str, Sequence[Any]],
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Format figure data: one x column plus one column per series."""
+    rows = []
+    for k, x in enumerate(x_values):
+        row: dict[str, Any] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[k] if k < len(values) else None
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *series.keys()], title=title,
+                        precision=precision)

@@ -1,0 +1,46 @@
+"""Baseline refresh schemes the paper compares against.
+
+Every baseline shares HDR's runtime machinery and differs only in
+structure and provisioning, so each is expressed as a
+:class:`~repro.core.scheme.SchemeConfig` (see the table in
+:mod:`repro.core.scheme`):
+
+- :data:`SOURCE_ONLY` -- caching nodes are refreshed only when they meet
+  the data source directly.  No cooperation: the overhead floor and the
+  freshness floor among active schemes.
+- :data:`FLOODING` -- epidemic version gossip through every node.  The
+  freshness ceiling and the overhead ceiling.
+- :data:`FLAT_REPLICATION` -- the source is directly responsible for all
+  caching nodes, with probabilistic relay replication but no hierarchy
+  (ablates the hierarchy).
+- :data:`RANDOM_ASSIGNMENT` -- the tree structure is kept but children
+  pick random parents (ablates rate-aware assignment).
+- :data:`NO_REFRESH` -- cached entries only expire (the floor all
+  schemes are measured against).
+- :data:`INVALIDATION` -- epidemic invalidation notices plus direct
+  source re-fetch: the classic cache-consistency alternative (compared
+  separately in E13; it trades availability for served-data validity,
+  so it is not part of the freshness comparison order).
+"""
+
+from repro.core.scheme import SCHEMES, SchemeConfig
+
+SOURCE_ONLY: SchemeConfig = SCHEMES["source"]
+FLOODING: SchemeConfig = SCHEMES["flooding"]
+FLAT_REPLICATION: SchemeConfig = SCHEMES["flat"]
+RANDOM_ASSIGNMENT: SchemeConfig = SCHEMES["random"]
+NO_REFRESH: SchemeConfig = SCHEMES["none"]
+INVALIDATION: SchemeConfig = SCHEMES["invalidate"]
+
+#: Scheme names in the order the freshness-comparison tables report them.
+COMPARISON_ORDER = ["hdr", "flooding", "flat", "random", "source", "none"]
+
+__all__ = [
+    "COMPARISON_ORDER",
+    "FLAT_REPLICATION",
+    "FLOODING",
+    "INVALIDATION",
+    "NO_REFRESH",
+    "RANDOM_ASSIGNMENT",
+    "SOURCE_ONLY",
+]

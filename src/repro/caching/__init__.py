@@ -1,0 +1,37 @@
+"""Cooperative caching substrate.
+
+The freshness scheme runs on top of cooperative caching: data items are
+generated at source nodes, cached at a set of *caching nodes* (selected
+by contact centrality -- the "network central locations"), and queried
+by everyone else over opportunistic contacts.
+
+- :mod:`repro.caching.items` -- data items, source version clocks and
+  the ground-truth version history used for freshness accounting.
+- :mod:`repro.caching.store` -- per-node cache stores with LRU/FIFO/LFU
+  eviction.
+- :mod:`repro.caching.ncl` -- caching-node (NCL) selection.
+- :mod:`repro.caching.query` -- query dissemination and response
+  delivery, with per-query outcome records.
+"""
+
+from repro.caching.items import (
+    CacheEntry,
+    DataCatalog,
+    DataItem,
+    VersionHistory,
+)
+from repro.caching.store import CacheStore, EvictionPolicy
+from repro.caching.ncl import select_caching_nodes
+from repro.caching.query import QueryManager, QueryRecord
+
+__all__ = [
+    "CacheEntry",
+    "CacheStore",
+    "DataCatalog",
+    "DataItem",
+    "EvictionPolicy",
+    "QueryManager",
+    "QueryRecord",
+    "VersionHistory",
+    "select_caching_nodes",
+]

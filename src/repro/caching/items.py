@@ -1,0 +1,177 @@
+"""Data items, versions, and ground-truth version history.
+
+A :class:`DataItem` is produced by one *source* node and refreshed
+periodically: the source generates version 1, 2, 3, ... at (roughly)
+``refresh_interval`` spacing.  A cached copy of version ``v`` is
+
+- **fresh** at time ``t`` while ``v`` is still the source's current
+  version, and
+- **valid** (unexpired) while ``t < creation_time(v) + lifetime``.
+
+Serving stale-but-unexpired data may still be acceptable; serving
+expired data never is.  The per-item ``freshness_requirement`` is the
+probability target the scheme's probabilistic replication must meet.
+
+:class:`VersionHistory` records, per item, when each version was
+generated -- the ground truth the metrics layer compares cached copies
+against.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """An identifiable, periodically refreshed data item."""
+
+    item_id: int
+    source: int
+    refresh_interval: float
+    lifetime: float
+    size: int = 1024
+    freshness_requirement: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.refresh_interval <= 0:
+            raise ValueError("refresh_interval must be positive")
+        if self.lifetime <= 0:
+            raise ValueError("lifetime must be positive")
+        if not 0 < self.freshness_requirement < 1:
+            raise ValueError("freshness_requirement must be in (0, 1)")
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+
+
+@dataclass
+class CacheEntry:
+    """A cached copy of one version of one item."""
+
+    item_id: int
+    version: int
+    version_time: float
+    cached_at: float
+    access_count: int = 0
+    last_access: float = field(default=0.0)
+
+    def expired(self, now: float, item: DataItem) -> bool:
+        """True once this version has outlived the item's lifetime."""
+        return now >= self.version_time + item.lifetime
+
+
+class VersionHistory:
+    """Ground-truth record of when each version of each item appeared."""
+
+    def __init__(self) -> None:
+        self._times: dict[int, list[float]] = {}
+
+    def record(self, item_id: int, version: int, time: float) -> None:
+        """Record that ``version`` of ``item_id`` was generated at ``time``.
+
+        Versions must be recorded in order starting from 1.
+        """
+        times = self._times.setdefault(item_id, [])
+        if version != len(times) + 1:
+            raise ValueError(
+                f"item {item_id}: expected version {len(times) + 1}, got {version}"
+            )
+        if times and time < times[-1]:
+            raise ValueError(f"item {item_id}: version {version} goes back in time")
+        times.append(time)
+
+    def current_version(self, item_id: int, now: float) -> int:
+        """Latest version generated at or before ``now`` (0 = none yet)."""
+        times = self._times.get(item_id, [])
+        return bisect_right(times, now)
+
+    def version_time(self, item_id: int, version: int) -> float:
+        """Generation time of ``version`` of ``item_id``."""
+        times = self._times.get(item_id, [])
+        if not 1 <= version <= len(times):
+            raise KeyError(f"item {item_id} has no version {version}")
+        return times[version - 1]
+
+    def num_versions(self, item_id: int) -> int:
+        return len(self._times.get(item_id, []))
+
+    def is_fresh(self, item_id: int, version: int, now: float) -> bool:
+        """Whether ``version`` is still the current version at ``now``."""
+        return version == self.current_version(item_id, now) and version > 0
+
+
+class DataCatalog:
+    """The set of items in a simulation, with lookup helpers."""
+
+    def __init__(self, items: Optional[list[DataItem]] = None) -> None:
+        self._items: dict[int, DataItem] = {}
+        for item in items or []:
+            self.add(item)
+
+    def add(self, item: DataItem) -> None:
+        if item.item_id in self._items:
+            raise ValueError(f"duplicate item id {item.item_id}")
+        self._items[item.item_id] = item
+
+    def get(self, item_id: int) -> DataItem:
+        return self._items[item_id]
+
+    def __contains__(self, item_id: int) -> bool:
+        return item_id in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[DataItem]:
+        return iter(self._items.values())
+
+    @property
+    def item_ids(self) -> list[int]:
+        return sorted(self._items)
+
+    def items_of_source(self, source: int) -> list[DataItem]:
+        return [item for item in self._items.values() if item.source == source]
+
+    @classmethod
+    def uniform(
+        cls,
+        num_items: int,
+        sources: list[int],
+        refresh_interval: float,
+        lifetime: Optional[float] = None,
+        size: int = 1024,
+        freshness_requirement: float = 0.9,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "DataCatalog":
+        """Catalog of ``num_items`` identical items spread over ``sources``.
+
+        Sources are assigned round-robin (or uniformly at random when an
+        ``rng`` is given).  ``lifetime`` defaults to twice the refresh
+        interval: a copy survives missing one refresh but not two.
+        """
+        if num_items < 1:
+            raise ValueError("need at least one item")
+        if not sources:
+            raise ValueError("need at least one source node")
+        life = 2.0 * refresh_interval if lifetime is None else lifetime
+        catalog = cls()
+        for k in range(num_items):
+            if rng is not None:
+                source = int(sources[int(rng.integers(0, len(sources)))])
+            else:
+                source = int(sources[k % len(sources)])
+            catalog.add(
+                DataItem(
+                    item_id=k,
+                    source=source,
+                    refresh_interval=refresh_interval,
+                    lifetime=life,
+                    size=size,
+                    freshness_requirement=freshness_requirement,
+                )
+            )
+        return catalog

@@ -1,0 +1,117 @@
+"""Per-node cache store with pluggable eviction.
+
+Each caching node owns one :class:`CacheStore`: a bounded map of
+``item_id -> CacheEntry``.  Refresh schemes call :meth:`CacheStore.put`
+with newer versions; the query path calls :meth:`CacheStore.lookup`
+(which records the access for LRU/LFU eviction).
+
+Eviction only matters when the store is smaller than the set of items a
+node is asked to cache; the paper-style experiments give caching nodes
+room for their assigned items, and the eviction policies exist for the
+cache-pressure ablation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.caching.items import CacheEntry, DataItem
+
+
+class EvictionPolicy(enum.Enum):
+    """Which entry to discard when the store is full."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    LFU = "lfu"
+
+
+class CacheStore:
+    """Bounded per-node store of cached item versions."""
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        policy: EvictionPolicy = EvictionPolicy.LRU,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self.capacity = capacity
+        self.policy = policy
+        self._entries: dict[int, CacheEntry] = {}
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, item_id: int) -> bool:
+        return item_id in self._entries
+
+    def item_ids(self) -> list[int]:
+        return sorted(self._entries)
+
+    def entries(self) -> list[CacheEntry]:
+        return list(self._entries.values())
+
+    def peek(self, item_id: int) -> Optional[CacheEntry]:
+        """Entry for ``item_id`` without recording an access."""
+        return self._entries.get(item_id)
+
+    def lookup(self, item_id: int, now: float) -> Optional[CacheEntry]:
+        """Entry for ``item_id``, recording the access for eviction."""
+        entry = self._entries.get(item_id)
+        if entry is not None:
+            entry.access_count += 1
+            entry.last_access = now
+        return entry
+
+    def put(self, entry: CacheEntry, now: float) -> bool:
+        """Insert or upgrade the entry for ``entry.item_id``.
+
+        An existing entry is only replaced by a strictly newer version.
+        Returns ``True`` if the store changed.
+        """
+        current = self._entries.get(entry.item_id)
+        if current is not None:
+            if entry.version <= current.version:
+                return False
+            # Preserve access statistics across refreshes.
+            entry.access_count = current.access_count
+            entry.last_access = current.last_access
+            self._entries[entry.item_id] = entry
+            return True
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            self._evict(now)
+        self._entries[entry.item_id] = entry
+        return True
+
+    def remove(self, item_id: int) -> bool:
+        return self._entries.pop(item_id, None) is not None
+
+    def drop_expired(self, now: float, items: dict[int, DataItem]) -> int:
+        """Remove entries whose version has expired; returns the count."""
+        dead = [
+            item_id
+            for item_id, entry in self._entries.items()
+            if item_id in items and entry.expired(now, items[item_id])
+        ]
+        for item_id in dead:
+            del self._entries[item_id]
+        return len(dead)
+
+    def _evict(self, now: float) -> None:
+        if not self._entries:
+            return
+        if self.policy is EvictionPolicy.LRU:
+            victim = min(
+                self._entries.values(), key=lambda e: (e.last_access, e.item_id)
+            )
+        elif self.policy is EvictionPolicy.FIFO:
+            victim = min(self._entries.values(), key=lambda e: (e.cached_at, e.item_id))
+        else:  # LFU
+            victim = min(
+                self._entries.values(), key=lambda e: (e.access_count, e.item_id)
+            )
+        del self._entries[victim.item_id]
+        self.evictions += 1

@@ -1,0 +1,181 @@
+"""Command-line interface.
+
+::
+
+    repro experiments                 # list experiment ids and titles
+    repro run E3 [--fast]             # run one experiment, print its table
+    repro run all [--fast]            # run every experiment
+    repro trace-stats reality         # statistics of a calibrated profile
+    repro analyze-trace contacts.txt  # stats/centrality of a real trace file
+    repro simulate --scheme hdr ...   # one ad-hoc simulation run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    for exp_id, runner in EXPERIMENTS.items():
+        doc = (sys.modules[runner.__module__].__doc__ or "").strip().splitlines()[0]
+        print(f"{exp_id}  {doc}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS, Settings
+
+    settings = Settings.fast() if args.fast else Settings()
+    ids = list(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment.upper()]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; known: {list(EXPERIMENTS)}")
+        return 2
+    for exp_id in ids:
+        result = EXPERIMENTS[exp_id](settings)
+        print(result)
+        if args.export:
+            from repro.analysis.export import export_result
+
+            written = export_result(result, args.export)
+            for path in written:
+                print(f"exported {path}")
+        print()
+    return 0
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.mobility.calibration import get_profile, list_profiles
+
+    if args.profile not in list_profiles():
+        print(f"unknown profile {args.profile!r}; known: {list_profiles()}")
+        return 2
+    profile = get_profile(args.profile)
+    trace = profile.generate(np.random.default_rng(args.seed))
+    row = {"trace": profile.name, **trace.stats().as_row()}
+    print(format_table([row], precision=2))
+    return 0
+
+
+def _cmd_analyze_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.contacts.centrality import contact_centrality, rank_nodes
+    from repro.contacts.intercontact import (
+        aggregate_intercontact_samples,
+        fit_exponential,
+        ks_distance,
+    )
+    from repro.contacts.rates import mle_rates
+    from repro.mobility.loaders import load_one_report, load_pairwise
+
+    if args.format == "one":
+        trace = load_one_report(args.path)
+    else:
+        trace = load_pairwise(args.path, time_scale=args.time_scale)
+    print(format_table([{"trace": trace.name, **trace.stats().as_row()}],
+                       precision=2))
+    samples = aggregate_intercontact_samples(trace, normalise=True,
+                                             min_gaps_per_pair=3)
+    if len(samples):
+        rate = fit_exponential(samples)
+        print(f"\npair-normalised inter-contact gaps: {len(samples)} samples, "
+              f"KS distance to fitted exponential {ks_distance(samples, rate):.3f}")
+    rates = mle_rates(trace)
+    scores = contact_centrality(rates, window=args.window_hours * 3600.0)
+    top = rank_nodes(scores, top=args.top)
+    print(f"\ntop {args.top} nodes by contact centrality "
+          f"({args.window_hours:.0f} h window): "
+          + ", ".join(f"{n}({scores[n]:.1f})" for n in top))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.config import HOUR, Settings
+    from repro.experiments.runner import run_once, make_trace
+
+    settings = Settings(
+        profile=args.profile,
+        duration=args.days * 86400.0,
+        num_caching_nodes=args.caching_nodes,
+        refresh_interval=args.refresh_hours * HOUR,
+        freshness_requirement=args.p_req,
+        seeds=(args.seed,),
+    )
+    trace = make_trace(settings, args.seed)
+    metrics = run_once(trace, args.scheme, settings, seed=args.seed, with_queries=True)
+    print(f"scheme            : {metrics.scheme}")
+    print(f"freshness         : {metrics.freshness:.4f}")
+    print(f"validity          : {metrics.validity:.4f}")
+    print(f"on-time refreshes : {metrics.on_time_ratio:.4f}")
+    print(f"refresh messages  : {metrics.messages:.0f}")
+    print(f"msgs per update   : {metrics.messages_per_update:.2f}")
+    print(f"queries issued    : {metrics.queries_issued}")
+    print(f"query answered    : {metrics.query_answer_ratio:.4f}")
+    print(f"query fresh ratio : {metrics.query_fresh_ratio:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cache-freshness maintenance in opportunistic mobile "
+        "networks (ICDCS 2012 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list reproduced tables/figures")
+
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id, e.g. E3, or 'all'")
+    run_parser.add_argument("--fast", action="store_true",
+                            help="scaled-down settings (small trace)")
+    run_parser.add_argument("--export", metavar="DIR", default=None,
+                            help="also write the raw data as CSV files to DIR")
+
+    stats_parser = sub.add_parser("trace-stats", help="statistics of a profile")
+    stats_parser.add_argument("profile")
+    stats_parser.add_argument("--seed", type=int, default=1)
+
+    analyze_parser = sub.add_parser(
+        "analyze-trace", help="statistics/centrality of an on-disk trace file"
+    )
+    analyze_parser.add_argument("path")
+    analyze_parser.add_argument("--format", choices=["pairwise", "one"],
+                                default="pairwise")
+    analyze_parser.add_argument("--time-scale", type=float, default=1.0,
+                                help="multiply file timestamps (e.g. 3600 for hours)")
+    analyze_parser.add_argument("--window-hours", type=float, default=6.0)
+    analyze_parser.add_argument("--top", type=int, default=10)
+
+    sim_parser = sub.add_parser("simulate", help="one ad-hoc simulation")
+    sim_parser.add_argument("--scheme", default="hdr")
+    sim_parser.add_argument("--profile", default="small")
+    sim_parser.add_argument("--days", type=float, default=3.0)
+    sim_parser.add_argument("--caching-nodes", type=int, default=5)
+    sim_parser.add_argument("--refresh-hours", type=float, default=4.0)
+    sim_parser.add_argument("--p-req", type=float, default=0.9)
+    sim_parser.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "experiments": _cmd_experiments,
+        "run": _cmd_run,
+        "trace-stats": _cmd_trace_stats,
+        "analyze-trace": _cmd_analyze_trace,
+        "simulate": _cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Contact-process analysis.
+
+The freshness scheme's decisions are driven by properties of the contact
+process: pairwise contact rates (for responsibility assignment and the
+replication analysis) and contact-based centrality (for NCL selection).
+This package estimates those from traces -- both offline (whole-trace
+MLE) and online (a protocol handler each node runs on its own history,
+which is what makes the scheme *distributed*).
+"""
+
+from repro.contacts.rates import (
+    ContactRateEstimator,
+    RateTable,
+    ewma_rates,
+    mle_rates,
+)
+from repro.contacts.centrality import (
+    contact_centrality,
+    degree_centrality,
+    betweenness_centrality,
+    rank_nodes,
+)
+from repro.contacts.graph import contact_graph, largest_component
+from repro.contacts.intercontact import (
+    aggregate_intercontact_samples,
+    ccdf,
+    fit_exponential,
+    ks_distance,
+)
+
+__all__ = [
+    "ContactRateEstimator",
+    "RateTable",
+    "aggregate_intercontact_samples",
+    "betweenness_centrality",
+    "ccdf",
+    "contact_centrality",
+    "contact_graph",
+    "degree_centrality",
+    "ewma_rates",
+    "fit_exponential",
+    "ks_distance",
+    "largest_component",
+    "mle_rates",
+    "rank_nodes",
+]

@@ -1,0 +1,54 @@
+"""Aggregated contact graph.
+
+Collapses a trace (or a rate table) into a weighted ``networkx`` graph:
+one edge per pair that ever meets, annotated with the contact rate, the
+expected meeting delay (``1 / rate``) and the raw contact count.  The
+centrality metrics and the hierarchy builder both consume this view.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+import networkx as nx
+
+from repro.contacts.rates import RateTable, mle_rates
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mobility.trace import ContactTrace
+
+
+def contact_graph(source: Union["ContactTrace", RateTable]) -> nx.Graph:
+    """Build the weighted contact graph from a trace or a rate table.
+
+    Edge attributes: ``rate`` (contacts/s), ``delay`` (expected meeting
+    delay, s), and -- when built from a trace -- ``count``.
+    Nodes that never meet anyone are still included when the source is a
+    trace (isolated vertices).
+    """
+    graph = nx.Graph()
+    if isinstance(source, RateTable):
+        graph.add_nodes_from(sorted(source.nodes()))
+        for (a, b), rate in source.pairs():
+            if rate > 0:
+                graph.add_edge(a, b, rate=rate, delay=1.0 / rate)
+        return graph
+
+    trace = source
+    graph.add_nodes_from(trace.node_ids)
+    rates = mle_rates(trace)
+    counts: dict[tuple[int, int], int] = {
+        pair: len(contacts) for pair, contacts in trace.pair_contacts().items()
+    }
+    for (a, b), rate in rates.pairs():
+        if rate > 0:
+            graph.add_edge(a, b, rate=rate, delay=1.0 / rate, count=counts.get((a, b), 0))
+    return graph
+
+
+def largest_component(graph: nx.Graph) -> nx.Graph:
+    """Subgraph induced by the largest connected component."""
+    if graph.number_of_nodes() == 0:
+        return graph.copy()
+    biggest = max(nx.connected_components(graph), key=len)
+    return graph.subgraph(biggest).copy()

@@ -1,0 +1,102 @@
+"""Inter-contact time distribution analysis (experiment E2).
+
+The paper's analysis assumes pairwise inter-contact times are
+exponential.  This module provides the tools to test that on a trace:
+empirical CCDFs, exponential MLE fits, a Kolmogorov-Smirnov distance
+against the fitted exponential, and pair-normalised aggregation (each
+pair's gaps divided by that pair's mean, so heterogeneous pairs can be
+pooled into one distribution that is Exp(1) under the hypothesis).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mobility.trace import ContactTrace
+
+
+def ccdf(samples: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical complementary CDF.
+
+    Returns ``(x, p)`` where ``p[k] = P(X > x[k])`` with ``x`` sorted
+    ascending.  Raises on empty input.
+    """
+    if len(samples) == 0:
+        raise ValueError("no samples")
+    x = np.sort(np.asarray(samples, dtype=float))
+    n = len(x)
+    p = 1.0 - np.arange(1, n + 1) / n
+    return x, p
+
+
+def fit_exponential(samples: Sequence[float]) -> float:
+    """MLE rate of an exponential fit: ``1 / mean``."""
+    arr = np.asarray(samples, dtype=float)
+    if len(arr) == 0:
+        raise ValueError("no samples")
+    if (arr < 0).any():
+        raise ValueError("negative samples")
+    mean = float(arr.mean())
+    if mean <= 0:
+        raise ValueError("all samples are zero")
+    return 1.0 / mean
+
+
+def ks_distance(samples: Sequence[float], rate: float) -> float:
+    """Kolmogorov-Smirnov distance to Exp(rate).
+
+    ``sup_x |F_n(x) - (1 - exp(-rate x))|`` evaluated at the jump points
+    of the empirical CDF (where the supremum is attained).
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    x = np.sort(np.asarray(samples, dtype=float))
+    n = len(x)
+    if n == 0:
+        raise ValueError("no samples")
+    model = 1.0 - np.exp(-rate * x)
+    upper = np.arange(1, n + 1) / n
+    lower = np.arange(0, n) / n
+    return float(max(np.abs(upper - model).max(), np.abs(model - lower).max()))
+
+
+def aggregate_intercontact_samples(
+    trace: "ContactTrace",
+    normalise: bool = False,
+    min_gaps_per_pair: int = 1,
+) -> np.ndarray:
+    """Pool inter-contact gaps across all pairs of a trace.
+
+    With ``normalise=True`` each pair's gaps are divided by that pair's
+    mean gap, removing rate heterogeneity: under the pairwise-exponential
+    hypothesis the pooled result is Exp(1).  ``min_gaps_per_pair`` drops
+    pairs with too few gaps to normalise meaningfully.
+    """
+    pooled: list[float] = []
+    for gaps in trace.inter_contact_times().values():
+        if len(gaps) < min_gaps_per_pair:
+            continue
+        if normalise:
+            mean = sum(gaps) / len(gaps)
+            if mean <= 0:
+                continue
+            pooled.extend(g / mean for g in gaps)
+        else:
+            pooled.extend(gaps)
+    return np.asarray(pooled, dtype=float)
+
+
+def exponential_tail_quantiles(rate: float, quantiles: Sequence[float]) -> list[float]:
+    """Inverse CCDF of Exp(rate) at the given tail probabilities."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    out = []
+    for q in quantiles:
+        if not 0 < q < 1:
+            raise ValueError(f"tail probability {q} outside (0, 1)")
+        out.append(-math.log(q) / rate)
+    return out

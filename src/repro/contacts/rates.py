@@ -1,0 +1,201 @@
+"""Pairwise contact-rate estimation.
+
+Under the pairwise-Poisson model the maximum-likelihood estimate of a
+pair's contact rate over an observation window is simply
+``count / window``.  :func:`mle_rates` computes that offline from a
+trace; :func:`ewma_rates` is the recency-weighted variant; and
+:class:`ContactRateEstimator` is the *online, node-local* estimator each
+device runs over its own contact history -- the distributed source of
+rate knowledge the scheme actually uses.
+
+All estimators produce a :class:`RateTable`, the symmetric pair->rate
+mapping consumed by hierarchy construction and the replication analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.sim.node import Node, ProtocolHandler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mobility.trace import ContactTrace
+
+
+def _norm_pair(a: int, b: int) -> tuple[int, int]:
+    return (a, b) if a <= b else (b, a)
+
+
+class RateTable:
+    """Symmetric mapping of node pairs to contact rates (1/s)."""
+
+    def __init__(self, rates: Optional[Mapping[tuple[int, int], float]] = None) -> None:
+        self._rates: dict[tuple[int, int], float] = {}
+        if rates:
+            for (a, b), rate in rates.items():
+                self.set(a, b, rate)
+
+    def set(self, a: int, b: int, rate: float) -> None:
+        if a == b:
+            raise ValueError(f"self-rate for node {a}")
+        if rate < 0:
+            raise ValueError(f"negative rate for pair ({a}, {b})")
+        self._rates[_norm_pair(a, b)] = float(rate)
+
+    def rate(self, a: int, b: int, default: float = 0.0) -> float:
+        """Contact rate between ``a`` and ``b`` (0 when never observed)."""
+        return self._rates.get(_norm_pair(a, b), default)
+
+    def pairs(self) -> Iterable[tuple[tuple[int, int], float]]:
+        return self._rates.items()
+
+    def neighbors(self, node_id: int) -> dict[int, float]:
+        """Peers of ``node_id`` with a positive rate."""
+        out = {}
+        for (a, b), rate in self._rates.items():
+            if rate <= 0:
+                continue
+            if a == node_id:
+                out[b] = rate
+            elif b == node_id:
+                out[a] = rate
+        return out
+
+    def nodes(self) -> set[int]:
+        seen: set[int] = set()
+        for a, b in self._rates:
+            seen.add(a)
+            seen.add(b)
+        return seen
+
+    def matrix(self, node_ids: list[int]) -> np.ndarray:
+        """Dense rate matrix in the order of ``node_ids``."""
+        index = {nid: k for k, nid in enumerate(node_ids)}
+        out = np.zeros((len(node_ids), len(node_ids)))
+        for (a, b), rate in self._rates.items():
+            if a in index and b in index:
+                out[index[a], index[b]] = rate
+                out[index[b], index[a]] = rate
+        return out
+
+    def __len__(self) -> int:
+        return len(self._rates)
+
+
+def mle_rates(
+    trace: "ContactTrace",
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+) -> RateTable:
+    """Whole-window MLE: rate = contact count / window length.
+
+    ``[t0, t1]`` defaults to the trace's own span.  Contacts are counted
+    by their start time.
+    """
+    start = trace.start_time if t0 is None else t0
+    end = trace.end_time if t1 is None else t1
+    window = end - start
+    if window <= 0:
+        raise ValueError(f"empty estimation window [{start}, {end}]")
+    counts: dict[tuple[int, int], int] = {}
+    for c in trace:
+        if start <= c.start <= end:
+            counts[c.pair] = counts.get(c.pair, 0) + 1
+    return RateTable({pair: n / window for pair, n in counts.items()})
+
+
+def ewma_rates(
+    trace: "ContactTrace",
+    alpha: float = 0.3,
+    t1: Optional[float] = None,
+) -> RateTable:
+    """Recency-weighted rates from per-pair inter-contact gaps.
+
+    For each pair the EWMA of inter-contact gaps is maintained
+    (``est = alpha * gap + (1 - alpha) * est``) and the rate is its
+    inverse.  Pairs with a single contact fall back to
+    ``1 / time-since-that-contact`` measured at ``t1``.
+    """
+    if not 0 < alpha <= 1:
+        raise ValueError("alpha must be in (0, 1]")
+    horizon = trace.end_time if t1 is None else t1
+    table = RateTable()
+    for pair, contacts in trace.pair_contacts().items():
+        gaps = [n.start - p.end for p, n in zip(contacts, contacts[1:]) if n.start > p.end]
+        if gaps:
+            est = gaps[0]
+            for gap in gaps[1:]:
+                est = alpha * gap + (1 - alpha) * est
+            if est > 0:
+                table.set(pair[0], pair[1], 1.0 / est)
+        else:
+            age = horizon - contacts[0].start
+            if age > 0:
+                table.set(pair[0], pair[1], 1.0 / age)
+    return table
+
+
+class ContactRateEstimator(ProtocolHandler):
+    """Node-local online rate estimator.
+
+    Each node counts contacts per peer from the moment it starts and
+    estimates ``rate = count / elapsed``.  This is the distributed
+    knowledge base: a node knows its *own* rates exactly and learns
+    nothing about pairs it is not part of (peers exchange summaries at
+    the protocol layer above when needed).
+
+    An optional EWMA mode tracks inter-contact gaps instead, adapting
+    faster when mobility changes.
+    """
+
+    def __init__(self, mode: str = "cumulative", alpha: float = 0.3) -> None:
+        super().__init__()
+        if mode not in ("cumulative", "ewma"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.mode = mode
+        self.alpha = alpha
+        self.counts: dict[int, int] = {}
+        self.last_seen: dict[int, float] = {}
+        self.ewma_gap: dict[int, float] = {}
+        self.started_at: Optional[float] = None
+
+    def on_start(self) -> None:
+        self.started_at = self.node.sim.now
+
+    def on_contact_start(self, peer: Node) -> None:
+        now = self.node.sim.now
+        pid = peer.node_id
+        self.counts[pid] = self.counts.get(pid, 0) + 1
+        if pid in self.last_seen:
+            gap = now - self.last_seen[pid]
+            if gap > 0:
+                if pid in self.ewma_gap:
+                    self.ewma_gap[pid] = self.alpha * gap + (1 - self.alpha) * self.ewma_gap[pid]
+                else:
+                    self.ewma_gap[pid] = gap
+        self.last_seen[pid] = now
+
+    def rate_to(self, peer_id: int) -> float:
+        """Current estimate of the contact rate to ``peer_id`` (1/s)."""
+        if self.mode == "ewma":
+            gap = self.ewma_gap.get(peer_id)
+            if gap:
+                return 1.0 / gap
+            # fall through to cumulative for peers seen at most once
+        count = self.counts.get(peer_id, 0)
+        if count == 0 or self.started_at is None:
+            return 0.0
+        elapsed = self.node.sim.now - self.started_at
+        return count / elapsed if elapsed > 0 else 0.0
+
+    def known_peers(self) -> dict[int, float]:
+        """All peers ever met, with their current rate estimates."""
+        return {pid: self.rate_to(pid) for pid in self.counts}
+
+    def expected_meeting_delay(self, peer_id: int) -> float:
+        """``1 / rate``; infinity for peers never met."""
+        rate = self.rate_to(peer_id)
+        return 1.0 / rate if rate > 0 else math.inf

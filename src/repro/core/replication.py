@@ -1,0 +1,179 @@
+"""Probabilistic replication analysis (closed forms).
+
+Under the pairwise-Poisson contact model, the time until nodes *i* and
+*j* next meet is Exp(lambda_ij).  The scheme uses three consequences:
+
+- **direct delivery**: P(i hands a message to j within T) is
+  ``1 - exp(-lambda_ij T)``;
+- **two-hop relay**: if i hands a copy to relay r which then carries it
+  to j, the delivery time is the sum of two independent exponentials --
+  a hypoexponential with closed-form CDF;
+- **independent replication**: copies travelling disjoint relay paths
+  fail independently, so the miss probability of a set of paths is the
+  product of the per-path miss probabilities.
+
+:func:`plan_edge` turns these into the scheme's provisioning rule: given
+a tree edge (parent, child), the per-hop window and the per-hop success
+target, greedily add the best relays until the target is met.
+:func:`decompose_requirement` splits an end-to-end freshness requirement
+across the levels of a depth-``d`` tree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def contact_probability(rate: float, window: float) -> float:
+    """P(next contact within ``window``) for exponential inter-contacts."""
+    if rate < 0:
+        raise ValueError("rate must be non-negative")
+    if window < 0:
+        raise ValueError("window must be non-negative")
+    return 1.0 - math.exp(-rate * window)
+
+
+def two_hop_probability(rate1: float, rate2: float, window: float) -> float:
+    """P(Exp(rate1) + Exp(rate2) <= window): relay handoff then delivery.
+
+    Closed form of the hypoexponential CDF::
+
+        1 - (l2 e^{-l1 T} - l1 e^{-l2 T}) / (l2 - l1)     (l1 != l2)
+        1 - e^{-l T} (1 + l T)                            (l1 == l2)
+
+    Zero if either leg has rate 0 (that leg never completes).
+    """
+    if rate1 < 0 or rate2 < 0:
+        raise ValueError("rates must be non-negative")
+    if window < 0:
+        raise ValueError("window must be non-negative")
+    if rate1 == 0.0 or rate2 == 0.0 or window == 0.0:
+        return 0.0
+    if math.isclose(rate1, rate2, rel_tol=1e-9):
+        lam = 0.5 * (rate1 + rate2)
+        return 1.0 - math.exp(-lam * window) * (1.0 + lam * window)
+    return 1.0 - (
+        rate2 * math.exp(-rate1 * window) - rate1 * math.exp(-rate2 * window)
+    ) / (rate2 - rate1)
+
+
+def decompose_requirement(p_req: float, depth: int) -> float:
+    """Per-hop success target so a depth-``depth`` path meets ``p_req``.
+
+    Hops succeed independently, so requiring ``p_req ** (1/depth)`` per
+    hop gives ``p_req`` end to end (each hop also gets an equal share of
+    the freshness window; see :class:`~repro.core.hierarchy.RefreshTree`).
+    """
+    if not 0 < p_req < 1:
+        raise ValueError("p_req must be in (0, 1)")
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    return p_req ** (1.0 / depth)
+
+
+def required_direct_rate(p_req: float, window: float) -> float:
+    """Minimum contact rate for direct delivery to meet ``p_req`` in ``window``."""
+    if not 0 < p_req < 1:
+        raise ValueError("p_req must be in (0, 1)")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    return -math.log(1.0 - p_req) / window
+
+
+def expected_fresh_fraction(rate: float, refresh_interval: float) -> float:
+    """Long-run fraction of time a copy is fresh under direct refreshing.
+
+    A new version appears every ``refresh_interval`` R; the copy becomes
+    fresh again when the holder next meets its refresher, after
+    Exp(rate) delay capped at R.  The fresh fraction of each cycle is
+    ``(R - min(D, R)) / R`` in expectation::
+
+        1 - (1 - exp(-rate R)) / (rate R)
+
+    Used by the validity analysis and as an oracle in tests.
+    """
+    if rate < 0:
+        raise ValueError("rate must be non-negative")
+    if refresh_interval <= 0:
+        raise ValueError("refresh_interval must be positive")
+    if rate == 0.0:
+        return 0.0
+    x = rate * refresh_interval
+    return 1.0 - (1.0 - math.exp(-x)) / x
+
+
+@dataclass
+class RelayPlan:
+    """Provisioning for one tree edge (parent -> child).
+
+    ``relays`` are the node ids the parent hands extra copies to, best
+    first.  ``achieved`` is the analytical probability that the child is
+    refreshed within the hop window given the direct path plus all
+    relays; ``meets_target`` records whether the hop target was
+    reachable with the allowed relay budget.
+    """
+
+    parent: int
+    child: int
+    window: float
+    target: float
+    direct_probability: float
+    relays: list[int] = field(default_factory=list)
+    relay_probabilities: list[float] = field(default_factory=list)
+    achieved: float = 0.0
+    meets_target: bool = False
+
+    @property
+    def num_relays(self) -> int:
+        return len(self.relays)
+
+
+def plan_edge(
+    parent: int,
+    child: int,
+    direct_rate: float,
+    relay_candidates: Sequence[tuple[int, float, float]],
+    window: float,
+    target: float,
+    max_relays: int = 8,
+) -> RelayPlan:
+    """Provision the (parent -> child) edge to meet ``target`` in ``window``.
+
+    ``relay_candidates`` are ``(relay_id, rate_parent_relay,
+    rate_relay_child)`` triples.  Relays are added greedily by two-hop
+    delivery probability until the combined success probability reaches
+    ``target`` or ``max_relays`` is hit.  With ``max_relays=0`` the plan
+    is direct-only (the SourceOnly baseline's provisioning).
+    """
+    if max_relays < 0:
+        raise ValueError("max_relays must be >= 0")
+    if not 0 < target < 1:
+        raise ValueError("target must be in (0, 1)")
+    p_direct = contact_probability(direct_rate, window)
+    plan = RelayPlan(
+        parent=parent,
+        child=child,
+        window=window,
+        target=target,
+        direct_probability=p_direct,
+    )
+    miss = 1.0 - p_direct
+    scored: list[tuple[float, int]] = []
+    for relay_id, rate_up, rate_down in relay_candidates:
+        if relay_id == parent or relay_id == child:
+            continue
+        p = two_hop_probability(rate_up, rate_down, window)
+        if p > 0.0:
+            scored.append((p, relay_id))
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    for p, relay_id in scored:
+        if 1.0 - miss >= target or len(plan.relays) >= max_relays:
+            break
+        plan.relays.append(relay_id)
+        plan.relay_probabilities.append(p)
+        miss *= 1.0 - p
+    plan.achieved = 1.0 - miss
+    plan.meets_target = plan.achieved >= target
+    return plan

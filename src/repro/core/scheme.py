@@ -1,0 +1,537 @@
+"""Scheme wiring: assemble a full refresh simulation from a trace.
+
+:func:`build_simulation` is the main entry point of the library.  Given
+a contact trace, a data catalog, and a scheme name, it:
+
+1. estimates pairwise contact rates from the trace (the knowledge the
+   distributed estimators converge to);
+2. selects the caching nodes by contact centrality (NCL selection);
+3. builds the per-item refresh structure required by the scheme -- the
+   rate-aware tree for HDR, a star for the flat baselines, random trees
+   for the assignment ablation;
+4. provisions every tree edge with relays via the probabilistic
+   replication analysis, honouring each item's freshness requirement;
+5. installs the protocol handlers (sources, refresh distributors, and
+   optionally the query plane) and seeds version 1 everywhere so every
+   scheme starts from the same warm state.
+
+The returned :class:`SchemeRuntime` exposes the simulator, the ground
+truth, the update log, and snapshot/probe helpers the metrics layer
+consumes.
+
+Schemes (:data:`SCHEMES`):
+
+========== =========== ============ ====== ======================================
+name        structure   assignment  relays  role
+========== =========== ============ ====== ======================================
+hdr         tree        rate-aware  yes    the paper's scheme
+flat        star        --          yes    replication without hierarchy
+random      tree        random      yes    hierarchy without rate-awareness
+source      star        --          no     refresh only on direct source contact
+flooding    epidemic    --          --     freshness upper bound / overhead worst
+none        --          --          --     expiration-only floor
+========== =========== ============ ====== ======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.caching.items import CacheEntry, DataCatalog, VersionHistory
+from repro.caching.ncl import select_caching_nodes
+from repro.caching.query import QueryManager
+from repro.caching.store import CacheStore, EvictionPolicy
+from repro.contacts.rates import RateTable, mle_rates
+from repro.core.hierarchy import RefreshTree, build_tree, random_tree, star_tree
+from repro.core.refresh import (
+    FloodingRefreshHandler,
+    HdrRefreshHandler,
+    InvalidationRefreshHandler,
+    RefreshUpdate,
+    SourceHandler,
+)
+from repro.core.replication import RelayPlan, decompose_requirement, plan_edge
+from repro.mobility.trace import ContactTrace
+from repro.routing.epidemic import EpidemicRouting
+from repro.sim.engine import Simulator
+from repro.sim.network import ContactNetwork, LinkModel
+from repro.sim.node import Node
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass(frozen=True)
+class SchemeConfig:
+    """Everything that defines a refresh scheme variant."""
+
+    name: str
+    structure: str  # "tree" | "star" | "flood" | "none"
+    assignment: str = "rate"  # "rate" | "random"
+    fanout: int = 3
+    max_depth: int = 3
+    max_relays: int = 5
+    #: Per-node cap on relay handoffs per (item, version) -- the bounded
+    #: energy/bandwidth a device devotes to one refresh round.  ``None``
+    #: defaults to ``fanout * max_relays``: exactly enough for a node to
+    #: fully provision the children a tree assigns it, which is the
+    #: budget argument for the hierarchy (a flat star concentrates all
+    #: children on the source and blows through the same cap).
+    relay_budget: Optional[int] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.structure not in ("tree", "star", "flood", "invalidate", "none"):
+            raise ValueError(f"unknown structure {self.structure!r}")
+        if self.assignment not in ("rate", "random"):
+            raise ValueError(f"unknown assignment {self.assignment!r}")
+        if self.max_relays < 0:
+            raise ValueError("max_relays must be >= 0")
+        if self.relay_budget is not None and self.relay_budget < 0:
+            raise ValueError("relay_budget must be >= 0")
+
+    @property
+    def effective_relay_budget(self) -> int:
+        if self.relay_budget is not None:
+            return self.relay_budget
+        return self.fanout * self.max_relays
+
+
+SCHEMES: dict[str, SchemeConfig] = {
+    "hdr": SchemeConfig(
+        name="hdr",
+        structure="tree",
+        assignment="rate",
+        description="Hierarchical distributed refreshment (the paper's scheme).",
+    ),
+    "flat": SchemeConfig(
+        name="flat",
+        structure="star",
+        max_depth=1,
+        description="Probabilistic replication from the source, no hierarchy.",
+    ),
+    "random": SchemeConfig(
+        name="random",
+        structure="tree",
+        assignment="random",
+        description="HDR structure with random responsibility assignment.",
+    ),
+    "source": SchemeConfig(
+        name="source",
+        structure="star",
+        max_depth=1,
+        max_relays=0,
+        description="Refresh only on direct contact with the source.",
+    ),
+    "flooding": SchemeConfig(
+        name="flooding",
+        structure="flood",
+        description="Epidemic version gossip (upper bound).",
+    ),
+    "invalidate": SchemeConfig(
+        name="invalidate",
+        structure="invalidate",
+        max_relays=0,
+        description="Epidemic invalidation notices + direct source re-fetch "
+        "(the classic cache-consistency alternative).",
+    ),
+    "none": SchemeConfig(
+        name="none",
+        structure="none",
+        description="No refreshment; entries only expire.",
+    ),
+}
+
+
+@dataclass
+class SchemeRuntime:
+    """A fully wired simulation plus everything needed to measure it."""
+
+    config: SchemeConfig
+    sim: Simulator
+    network: ContactNetwork
+    nodes: dict[int, Node]
+    catalog: DataCatalog
+    history: VersionHistory
+    rates: RateTable
+    caching_nodes: list[int]
+    sources: list[int]
+    stores: dict[int, CacheStore]
+    trees: dict[int, RefreshTree]
+    plans: dict[tuple[int, int, int], RelayPlan]
+    update_log: list[RefreshUpdate]
+    stats: StatsRegistry
+    query_managers: dict[int, QueryManager] = field(default_factory=dict)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Start the network and advance the simulation to ``until``."""
+        return self.network.run(until=until)
+
+    def freshness_snapshot(self) -> tuple[int, int, int]:
+        """``(fresh, valid, total)`` over all (caching node, item) slots.
+
+        *Fresh* means the cached version is the source's current version
+        right now; *valid* means it has not expired.  Slots with no
+        entry count as neither.
+        """
+        now = self.sim.now
+        fresh = 0
+        valid = 0
+        total = 0
+        for node_id in self.caching_nodes:
+            if not self.nodes[node_id].online:
+                continue  # an offline device serves nobody
+            store = self.stores[node_id]
+            for item in self.catalog:
+                total += 1
+                entry = store.peek(item.item_id)
+                if entry is None:
+                    continue
+                if not entry.expired(now, item):
+                    valid += 1
+                if self.history.is_fresh(item.item_id, entry.version, now):
+                    fresh += 1
+        return fresh, valid, total
+
+    def install_freshness_probe(self, interval: float, until: float) -> None:
+        """Record freshness/validity ratios every ``interval`` seconds."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+
+        def probe() -> None:
+            fresh, valid, total = self.freshness_snapshot()
+            now = self.sim.now
+            if total:
+                self.stats.series("probe.freshness").record(now, fresh / total)
+                self.stats.series("probe.validity").record(now, valid / total)
+            if now + interval <= until:
+                self.sim.schedule_after(interval, probe)
+
+        self.sim.schedule_at(self.sim.now + interval, probe)
+
+    def describe(self) -> str:
+        """Human-readable summary of the wiring, for logs and debugging."""
+        lines = [
+            f"scheme {self.config.name!r} ({self.config.structure}, "
+            f"assignment={self.config.assignment})",
+            f"  nodes: {len(self.nodes)}, sources: {self.sources}, "
+            f"caching: {self.caching_nodes}",
+            f"  items: {len(self.catalog)}, relay budget/version: "
+            f"{self.config.effective_relay_budget}",
+        ]
+        for item_id in sorted(self.trees):
+            tree = self.trees[item_id]
+            planned = [
+                plan for key, plan in self.plans.items() if key[0] == item_id
+            ]
+            met = sum(1 for plan in planned if plan.meets_target)
+            lines.append(
+                f"  item {item_id}: tree depth {tree.max_depth}, "
+                f"{len(planned)} edges, {met} meet the hop target"
+            )
+            lines.append(
+                "    " + tree.render().replace("\n", "\n    ")
+            )
+        return "\n".join(lines)
+
+    def query_records(self):
+        """All query records across nodes, ordered by issue time."""
+        records = [
+            record
+            for manager in self.query_managers.values()
+            for record in manager.records
+        ]
+        records.sort(key=lambda r: (r.issued_at, r.query_id))
+        return records
+
+    def refresh_overhead(self) -> float:
+        """Total refresh-plane transmissions (messages)."""
+        return (
+            self.stats.counter_value("net.transfers.refresh")
+            + self.stats.counter_value("net.transfers.refresh_relay")
+            + self.stats.counter_value("net.transfers.refresh_flood")
+            + self.stats.counter_value("net.transfers.invalidate")
+        )
+
+    def refresh_bytes(self) -> float:
+        """Approximate refresh-plane bytes (message size x count is exact
+        here because all refresh messages of an item share one size)."""
+        return sum(
+            t.size
+            for t in self.network.transfers
+            if t.kind.startswith("refresh") or t.kind == "invalidate"
+        ) if self.network.record_transfers else float("nan")
+
+
+def build_simulation(
+    trace: ContactTrace,
+    catalog: DataCatalog,
+    scheme: str | SchemeConfig = "hdr",
+    num_caching_nodes: int = 12,
+    caching_nodes: Optional[list[int]] = None,
+    rates: Optional[RateTable] = None,
+    seed: int = 0,
+    with_queries: bool = False,
+    query_hop_limit: int = 4,
+    query_ttl: float = 6 * 3600.0,
+    link_model: Optional[LinkModel] = None,
+    centrality_window: float = 6 * 3600.0,
+    record_transfers: bool = False,
+    refresh_mode: str = "periodic",
+    refresh_jitter: float = 0.0,
+    store_capacity: Optional[int] = None,
+    eviction_policy: EvictionPolicy = EvictionPolicy.LRU,
+    ncl_metric: str = "contact",
+) -> SchemeRuntime:
+    """Wire a complete refresh simulation over ``trace``.
+
+    ``scheme`` is a name from :data:`SCHEMES` or an explicit
+    :class:`SchemeConfig`.  ``caching_nodes`` overrides NCL selection
+    (otherwise the top ``num_caching_nodes`` by contact centrality,
+    excluding sources, are used).  ``rates`` defaults to the whole-trace
+    MLE estimate.
+    """
+    config = SCHEMES[scheme] if isinstance(scheme, str) else scheme
+    rng = np.random.default_rng(seed)
+    stats = StatsRegistry()
+    history = VersionHistory()
+    update_log: list[RefreshUpdate] = []
+
+    if rates is None:
+        rates = mle_rates(trace)
+    sources = sorted({item.source for item in catalog})
+    unknown_sources = [s for s in sources if s not in trace.node_ids]
+    if unknown_sources:
+        raise ValueError(f"catalog sources {unknown_sources} are not in the trace")
+
+    if caching_nodes is None:
+        caching_nodes = select_caching_nodes(
+            rates,
+            num_caching_nodes,
+            metric=ncl_metric,
+            window=centrality_window,
+            exclude=set(sources),
+            rng=rng if ncl_metric == "random" else None,
+        )
+    caching_nodes = sorted(int(n) for n in caching_nodes)
+    overlap = set(caching_nodes) & set(sources)
+    if overlap:
+        raise ValueError(f"nodes {sorted(overlap)} are both sources and caching nodes")
+
+    # -- structures -------------------------------------------------------
+    trees: dict[int, RefreshTree] = {}
+    plans: dict[tuple[int, int, int], RelayPlan] = {}
+    if config.structure in ("tree", "star"):
+        for item in catalog:
+            tree = _build_structure(config, item.source, caching_nodes, rates, rng)
+            trees[item.item_id] = tree
+            if config.max_relays >= 0:
+                _plan_tree(
+                    item.item_id,
+                    tree,
+                    rates,
+                    window=item.refresh_interval,
+                    p_req=item.freshness_requirement,
+                    max_relays=config.max_relays,
+                    all_nodes=trace.node_ids,
+                    plans=plans,
+                )
+
+    # -- nodes, network, handlers -------------------------------------------
+    sim = Simulator()
+    nodes = {nid: Node(nid) for nid in trace.node_ids}
+    network = ContactNetwork(
+        sim, nodes, trace, link_model=link_model, stats=stats,
+        record_transfers=record_transfers,
+    )
+
+    stores: dict[int, CacheStore] = {
+        nid: CacheStore(capacity=store_capacity, policy=eviction_policy)
+        for nid in caching_nodes
+    }
+    refresh_handlers: dict[int, HdrRefreshHandler | FloodingRefreshHandler] = {}
+    if config.structure in ("tree", "star"):
+        for nid, node in nodes.items():
+            handler = HdrRefreshHandler(
+                catalog=catalog,
+                trees=trees,
+                plans=plans,
+                update_log=update_log,
+                stats=stats,
+                store=stores.get(nid),
+                rates=rates,
+                relay_budget=config.effective_relay_budget,
+            )
+            node.add_handler(handler)
+            refresh_handlers[nid] = handler
+    elif config.structure == "flood":
+        for nid, node in nodes.items():
+            handler = FloodingRefreshHandler(
+                catalog=catalog,
+                update_log=update_log,
+                stats=stats,
+                store=stores.get(nid),
+            )
+            node.add_handler(handler)
+            refresh_handlers[nid] = handler
+    elif config.structure == "invalidate":
+        caching_set = frozenset(caching_nodes)
+        for nid, node in nodes.items():
+            handler = InvalidationRefreshHandler(
+                catalog=catalog,
+                caching_nodes=caching_set,
+                update_log=update_log,
+                stats=stats,
+                store=stores.get(nid),
+            )
+            node.add_handler(handler)
+            refresh_handlers[nid] = handler
+
+    source_handlers: dict[int, SourceHandler] = {}
+    for source in sources:
+        handler = SourceHandler(
+            items=catalog.items_of_source(source),
+            history=history,
+            stats=stats,
+            mode=refresh_mode,
+            jitter=refresh_jitter,
+            rng=rng if (refresh_mode == "poisson" or refresh_jitter > 0) else None,
+        )
+        nodes[source].add_handler(handler)
+        source_handlers[source] = handler
+        distributor = refresh_handlers.get(source)
+        if distributor is not None:
+            handler.on_new_version(distributor.source_published)
+
+    # -- query plane ------------------------------------------------------------
+    query_managers: dict[int, QueryManager] = {}
+    if with_queries:
+        for nid, node in nodes.items():
+            node.add_handler(
+                EpidemicRouting(stats=stats, kinds=frozenset({"response"}))
+            )
+            manager = QueryManager(
+                catalog=catalog,
+                store=stores.get(nid),
+                hop_limit=query_hop_limit,
+                query_ttl=query_ttl,
+                stats=stats,
+            )
+            node.add_handler(manager)
+            query_managers[nid] = manager
+            source_handler = source_handlers.get(nid)
+            if source_handler is not None:
+                manager.add_provider(source_handler.answer_provider)
+
+    # -- warm start: version 1 everywhere at t=0 ---------------------------------
+    for item in catalog:
+        for nid in caching_nodes:
+            handler = refresh_handlers.get(nid)
+            if handler is not None:
+                handler.seed_entry(item, version=1, version_time=0.0)
+            else:  # "none" scheme: seed the bare store
+                stores[nid].put(
+                    CacheEntry(
+                        item_id=item.item_id,
+                        version=1,
+                        version_time=0.0,
+                        cached_at=0.0,
+                    ),
+                    0.0,
+                )
+
+    return SchemeRuntime(
+        config=config,
+        sim=sim,
+        network=network,
+        nodes=nodes,
+        catalog=catalog,
+        history=history,
+        rates=rates,
+        caching_nodes=caching_nodes,
+        sources=sources,
+        stores=stores,
+        trees=trees,
+        plans=plans,
+        update_log=update_log,
+        stats=stats,
+        query_managers=query_managers,
+    )
+
+
+def _build_structure(
+    config: SchemeConfig,
+    source: int,
+    caching_nodes: list[int],
+    rates: RateTable,
+    rng: np.random.Generator,
+) -> RefreshTree:
+    if config.structure == "star":
+        return star_tree(source, caching_nodes)
+    if config.assignment == "random":
+        return random_tree(
+            source,
+            caching_nodes,
+            rng,
+            fanout=config.fanout,
+            max_depth=config.max_depth,
+            root_fanout=config.fanout,
+        )
+    return build_tree(
+        source,
+        caching_nodes,
+        rates,
+        fanout=config.fanout,
+        max_depth=config.max_depth,
+        root_fanout=config.fanout,
+    )
+
+
+def _plan_tree(
+    item_id: int,
+    tree: RefreshTree,
+    rates: RateTable,
+    window: float,
+    p_req: float,
+    max_relays: int,
+    all_nodes: tuple[int, ...],
+    plans: dict[tuple[int, int, int], RelayPlan],
+) -> None:
+    """Provision every edge of ``tree`` with relays.
+
+    The end-to-end freshness window (one refresh interval) and the
+    freshness requirement are split evenly across the tree's depth.
+    """
+    depth = max(1, tree.max_depth)
+    hop_window = window / depth
+    hop_target = decompose_requirement(p_req, depth)
+    for parent, child in tree.edges():
+        candidates = [
+            (relay, rates.rate(parent, relay), rates.rate(relay, child))
+            for relay in all_nodes
+            if relay not in (parent, child)
+        ]
+        plans[(item_id, parent, child)] = plan_edge(
+            parent,
+            child,
+            direct_rate=rates.rate(parent, child),
+            relay_candidates=candidates,
+            window=hop_window,
+            target=hop_target,
+            max_relays=max_relays,
+        )
+
+
+def scheme_variant(base: str, **overrides) -> SchemeConfig:
+    """A copy of a named scheme with some fields overridden.
+
+    Convenience for ablations, e.g.
+    ``scheme_variant("hdr", max_relays=0)`` or
+    ``scheme_variant("hdr", max_depth=2, name="hdr-d2")``.
+    """
+    config = SCHEMES[base]
+    if "name" not in overrides:
+        suffix = ",".join(f"{k}={v}" for k, v in sorted(overrides.items()))
+        overrides["name"] = f"{base}[{suffix}]"
+    return replace(config, **overrides)

@@ -1,0 +1,64 @@
+"""Experiment harness: one module per reproduced table/figure.
+
+Every experiment module exposes ``run(settings) -> ExperimentResult``;
+:data:`EXPERIMENTS` maps the stable experiment ids (E1..E8, see
+DESIGN.md) to those callables.  ``settings`` is an
+:class:`~repro.experiments.config.Settings` instance; ``Settings.fast()``
+gives the scaled-down variant the CI benchmarks run.
+"""
+
+from repro.experiments.config import Settings
+from repro.experiments.runner import (
+    ExperimentResult,
+    RunMetrics,
+    make_trace,
+    run_once,
+    run_replicated,
+)
+from repro.experiments import (
+    e1_traces,
+    e2_intercontact,
+    e3_freshness_time,
+    e4_refresh_interval,
+    e5_validity,
+    e6_overhead,
+    e7_caching_nodes,
+    e8_ablation,
+    e9_churn,
+    e10_estimation,
+    e11_cache_pressure,
+    e12_delay_cdf,
+    e13_invalidation,
+    e14_ncl_metric,
+)
+
+#: E1-E8 and E12 reproduce the paper's (reconstructed) tables and
+#: figures; E9-E11, E13 and E14 are extensions exercising maintenance,
+#: estimation, cache pressure, consistency-model and NCL-selection
+#: aspects (see DESIGN.md's experiment index).
+EXPERIMENTS = {
+    "E1": e1_traces.run,
+    "E2": e2_intercontact.run,
+    "E3": e3_freshness_time.run,
+    "E4": e4_refresh_interval.run,
+    "E5": e5_validity.run,
+    "E6": e6_overhead.run,
+    "E7": e7_caching_nodes.run,
+    "E8": e8_ablation.run,
+    "E9": e9_churn.run,
+    "E10": e10_estimation.run,
+    "E11": e11_cache_pressure.run,
+    "E12": e12_delay_cdf.run,
+    "E13": e13_invalidation.run,
+    "E14": e14_ncl_metric.run,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "RunMetrics",
+    "Settings",
+    "make_trace",
+    "run_once",
+    "run_replicated",
+]

@@ -1,0 +1,68 @@
+"""Shared experiment settings.
+
+Defaults mirror the reconstructed paper setup (see DESIGN.md section 4):
+the Reality-calibrated trace, 12 caching nodes, a 6-hour refresh
+interval, a 0.9 freshness requirement, and Zipf(0.8) queries.  The
+``fast()`` preset shrinks the trace and replication count so the whole
+suite runs in CI time; shapes are preserved, error bars are wider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+HOUR = 3600.0
+DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class Settings:
+    """Knobs shared by all experiments."""
+
+    profile: str = "reality"
+    duration: float = 21 * DAY
+    seeds: tuple[int, ...] = (1, 2, 3)
+    num_caching_nodes: int = 12
+    num_items: int = 6
+    num_sources: int = 2
+    refresh_interval: float = 24 * HOUR
+    freshness_requirement: float = 0.9
+    lifetime_factor: float = 2.0  # lifetime = factor * refresh_interval
+    item_size: int = 1024
+    query_rate_per_day: float = 2.0  # queries per requester per day
+    zipf_exponent: float = 0.8
+    probe_interval: float = 30 * 60.0
+    warmup_fraction: float = 0.1  # probes before this are discarded
+    fanout: int = 3
+    max_depth: int = 3
+    max_relays: int = 5
+    #: relative jitter on the refresh schedule: desynchronises the
+    #: items' version bumps (and avoids probe aliasing artifacts)
+    refresh_jitter: float = 0.25
+
+    @property
+    def lifetime(self) -> float:
+        return self.lifetime_factor * self.refresh_interval
+
+    @property
+    def query_rate(self) -> float:
+        """Per-requester query rate in 1/s."""
+        return self.query_rate_per_day / DAY
+
+    @classmethod
+    def fast(cls) -> "Settings":
+        """Scaled-down settings for CI benchmarks and tests."""
+        return cls(
+            profile="small",
+            duration=3 * DAY,
+            seeds=(1, 2),
+            num_caching_nodes=5,
+            num_items=4,
+            num_sources=1,
+            refresh_interval=3 * HOUR,
+            probe_interval=20 * 60.0,
+        )
+
+    def with_(self, **overrides) -> "Settings":
+        """A copy with some fields replaced."""
+        return replace(self, **overrides)

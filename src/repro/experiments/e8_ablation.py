@@ -1,0 +1,137 @@
+"""E8 -- design ablations.
+
+Four sub-studies isolating HDR's design choices (DESIGN.md section 4):
+
+- **A: assignment** -- rate-aware vs random responsibility assignment at
+  identical structure budgets.
+- **B: hierarchy** -- tree vs flat (star) at the default caching set.
+- **C: relay budget** -- sweep ``max_relays`` for HDR: achieved on-time
+  refresh ratio and the analytical per-edge prediction, side by side.
+  The analytical ``plan.achieved`` should upper-track the empirical
+  ratio as the budget grows.
+- **D: depth budget** -- sweep ``max_depth`` (depth 1 = flat).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.aggregate import summarize
+from repro.analysis.tables import format_table
+from repro.core.scheme import build_simulation, scheme_variant
+from repro.experiments.config import Settings
+from repro.experiments.runner import (
+    ExperimentResult,
+    analytic_on_time,
+    choose_sources,
+    make_catalog,
+    make_trace,
+    run_replicated,
+)
+
+TITLE = "Ablations: assignment, hierarchy, relay budget, depth budget"
+
+RELAY_BUDGETS = [0, 1, 2, 3, 5, 8]
+FAST_RELAY_BUDGETS = [0, 2, 5]
+DEPTHS = [1, 2, 3, 4]
+FAST_DEPTHS = [1, 2, 3]
+
+
+def _comparison_rows(results, names) -> list[dict]:
+    rows = []
+    for name in names:
+        runs = results[name]
+        rows.append(
+            {
+                "scheme": name,
+                "freshness": round(summarize([m.freshness for m in runs]).mean, 3),
+                "on_time": round(summarize([m.on_time_ratio for m in runs]).mean, 3),
+                "messages": round(summarize([m.messages for m in runs]).mean, 1),
+            }
+        )
+    return rows
+
+
+def run(settings: Optional[Settings] = None) -> ExperimentResult:
+    """Run the experiment and return its formatted table + raw data."""
+    settings = settings or Settings()
+    fast = settings.profile == "small"
+
+    # A: assignment ablation.
+    results_a = run_replicated(["hdr", "random"], settings)
+    table_a = format_table(
+        _comparison_rows(results_a, ["hdr", "random"]),
+        title="A. rate-aware vs random assignment",
+        precision=3,
+    )
+
+    # B: hierarchy ablation.
+    results_b = run_replicated(["hdr", "flat"], settings)
+    table_b = format_table(
+        _comparison_rows(results_b, ["hdr", "flat"]),
+        title="B. hierarchy (tree) vs flat (star)",
+        precision=3,
+    )
+
+    # C: relay budget sweep, empirical vs analytical.
+    budgets = FAST_RELAY_BUDGETS if fast else RELAY_BUDGETS
+    rows_c = []
+    data_c = {}
+    for budget in budgets:
+        variant = scheme_variant("hdr", max_relays=budget, name=f"hdr-k{budget}")
+        results = run_replicated([variant], settings)
+        runs = results[variant.name]
+        # Analytical prediction from one representative build.
+        trace = make_trace(settings, settings.seeds[0])
+        catalog = make_catalog(settings, choose_sources(trace, settings))
+        runtime = build_simulation(
+            trace, catalog, scheme=variant,
+            num_caching_nodes=settings.num_caching_nodes, seed=settings.seeds[0],
+        )
+        predicted = analytic_on_time(runtime)
+        empirical = summarize([m.on_time_ratio for m in runs]).mean
+        rows_c.append(
+            {
+                "max_relays": budget,
+                "on_time_empirical": round(empirical, 3),
+                "end_to_end_analytical": round(predicted, 3),
+                "messages": round(summarize([m.messages for m in runs]).mean, 1),
+            }
+        )
+        data_c[budget] = {"empirical": empirical, "analytical": predicted}
+    table_c = format_table(rows_c, title="C. relay budget sweep (hdr)", precision=3)
+
+    # D: depth budget sweep.
+    depths = FAST_DEPTHS if fast else DEPTHS
+    rows_d = []
+    for depth in depths:
+        if depth == 1:
+            variant = scheme_variant("hdr", structure="star", max_depth=1,
+                                     name="hdr-d1")
+        else:
+            variant = scheme_variant("hdr", max_depth=depth, name=f"hdr-d{depth}")
+        results = run_replicated([variant], settings)
+        runs = results[variant.name]
+        rows_d.append(
+            {
+                "max_depth": depth,
+                "freshness": round(summarize([m.freshness for m in runs]).mean, 3),
+                "on_time": round(summarize([m.on_time_ratio for m in runs]).mean, 3),
+                "messages": round(summarize([m.messages for m in runs]).mean, 1),
+            }
+        )
+    table_d = format_table(rows_d, title="D. depth budget sweep (hdr)", precision=3)
+
+    text = "\n\n".join([table_a, table_b, table_c, table_d])
+    return ExperimentResult(
+        exp_id="E8",
+        title=TITLE,
+        text=text,
+        data={
+            "assignment": _comparison_rows(results_a, ["hdr", "random"]),
+            "hierarchy": _comparison_rows(results_b, ["hdr", "flat"]),
+            "relay_budget": data_c,
+            "depth": rows_d,
+        },
+        notes="rate-aware > random; on-time ratio rises with relay budget.",
+    )

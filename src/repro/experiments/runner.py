@@ -1,0 +1,217 @@
+"""Shared machinery for running scheme-comparison experiments.
+
+``run_once`` wires and runs one (trace, scheme) simulation and collects
+every metric the tables need into a :class:`RunMetrics`.
+``run_replicated`` repeats that across seeds -- each seed generates its
+own trace realisation, and all schemes of a seed share that trace and
+the same pre-scheduled query workload, the paper-style paired
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import freshness_summary, judge_queries, refresh_outcomes
+from repro.caching.items import DataCatalog
+from repro.contacts.centrality import contact_centrality, rank_nodes
+from repro.contacts.rates import mle_rates
+from repro.core.scheme import SchemeConfig, build_simulation
+from repro.experiments.config import Settings
+from repro.mobility.calibration import get_profile
+from repro.mobility.trace import ContactTrace
+from repro.workloads.popularity import ZipfPopularity
+from repro.workloads.queries import schedule_queries
+
+
+@dataclass
+class RunMetrics:
+    """Everything one simulation run reports."""
+
+    scheme: str
+    seed: int
+    freshness: float
+    validity: float
+    messages: float
+    messages_per_update: float
+    on_time_ratio: float
+    refresh_delay: float
+    queries_issued: int = 0
+    query_answer_ratio: float = float("nan")
+    query_fresh_ratio: float = float("nan")
+    query_valid_ratio: float = float("nan")
+    query_validity_e2e: float = float("nan")
+    query_delay: float = float("nan")
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: formatted text plus raw data."""
+
+    exp_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+    notes: str = ""
+
+    def __str__(self) -> str:
+        parts = [f"== {self.exp_id}: {self.title} ==", self.text]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+
+def analytic_on_time(runtime) -> float:
+    """Analytical end-to-end on-time refresh prediction of a wired runtime.
+
+    For every (item, caching node), multiplies the planned per-hop
+    delivery probabilities along the node's path to the source -- hops
+    are provisioned independently, so the product is the planned
+    probability that a new version reaches the node within its freshness
+    window.  Returns the mean over all (item, node) pairs.
+    """
+    import math
+
+    products = []
+    for item_id, tree in runtime.trees.items():
+        for node in tree.members:
+            prob = 1.0
+            path = tree.path_to_root(node)
+            for child, parent in zip(path, path[1:]):
+                plan = runtime.plans.get((item_id, parent, child))
+                prob *= plan.achieved if plan is not None else 0.0
+            products.append(prob)
+    return sum(products) / len(products) if products else math.nan
+
+
+def make_trace(settings: Settings, seed: int) -> ContactTrace:
+    """One trace realisation of the settings' profile."""
+    rng = np.random.default_rng(seed)
+    return get_profile(settings.profile).generate(rng, duration=settings.duration)
+
+
+def choose_sources(trace: ContactTrace, settings: Settings) -> list[int]:
+    """Pick the source nodes: median-centrality devices.
+
+    Sources are ordinary members of the network -- neither the social
+    hubs (those become caching nodes) nor isolated stragglers (a source
+    nobody meets starves every scheme equally but mostly measures the
+    trace, not the scheme).  Taking nodes from the middle of the
+    centrality ranking is deterministic and portable across traces.
+    """
+    rates = mle_rates(trace)
+    scores = contact_centrality(rates, window=6 * 3600.0)
+    ranked = rank_nodes(scores)
+    middle = len(ranked) // 2
+    picked = ranked[middle : middle + settings.num_sources]
+    if len(picked) < settings.num_sources:
+        picked = ranked[-settings.num_sources :]
+    return sorted(picked)
+
+
+def make_catalog(settings: Settings, sources: Sequence[int]) -> DataCatalog:
+    return DataCatalog.uniform(
+        num_items=settings.num_items,
+        sources=list(sources),
+        refresh_interval=settings.refresh_interval,
+        lifetime=settings.lifetime,
+        size=settings.item_size,
+        freshness_requirement=settings.freshness_requirement,
+    )
+
+
+def run_once(
+    trace: ContactTrace,
+    scheme: str | SchemeConfig,
+    settings: Settings,
+    seed: int,
+    with_queries: bool = False,
+    catalog: Optional[DataCatalog] = None,
+    num_caching_nodes: Optional[int] = None,
+) -> RunMetrics:
+    """Wire, run and score one simulation."""
+    if catalog is None:
+        catalog = make_catalog(settings, choose_sources(trace, settings))
+    runtime = build_simulation(
+        trace,
+        catalog,
+        scheme=scheme,
+        num_caching_nodes=num_caching_nodes or settings.num_caching_nodes,
+        seed=seed,
+        with_queries=with_queries,
+        refresh_jitter=settings.refresh_jitter,
+    )
+    horizon = settings.duration
+    runtime.install_freshness_probe(interval=settings.probe_interval, until=horizon)
+    queries_scheduled = 0
+    if with_queries:
+        popularity = ZipfPopularity(catalog.item_ids, s=settings.zipf_exponent)
+        queries_scheduled = schedule_queries(
+            runtime,
+            rate_per_node=settings.query_rate,
+            duration=horizon,
+            rng=np.random.default_rng(seed * 7919 + 17),
+            popularity=popularity,
+        )
+    runtime.run(until=horizon)
+
+    warmup = settings.warmup_fraction * horizon
+    fresh = freshness_summary(runtime, t0=warmup, t1=horizon)
+    refresh = refresh_outcomes(
+        runtime.update_log,
+        runtime.history,
+        catalog,
+        runtime.caching_nodes,
+        horizon=horizon,
+        messages=runtime.refresh_overhead(),
+    )
+    metrics = RunMetrics(
+        scheme=runtime.config.name,
+        seed=seed,
+        freshness=fresh.freshness,
+        validity=fresh.validity,
+        messages=refresh.messages,
+        messages_per_update=refresh.messages_per_update,
+        on_time_ratio=refresh.on_time_ratio,
+        refresh_delay=refresh.mean_delay,
+    )
+    if with_queries:
+        outcomes = judge_queries(runtime.query_records(), runtime.history, catalog)
+        metrics.queries_issued = outcomes.issued
+        metrics.query_answer_ratio = outcomes.answer_ratio
+        metrics.query_fresh_ratio = outcomes.fresh_ratio
+        metrics.query_valid_ratio = outcomes.valid_ratio
+        metrics.query_validity_e2e = outcomes.end_to_end_validity
+        metrics.query_delay = outcomes.mean_delay
+        if queries_scheduled and outcomes.issued != queries_scheduled:
+            # issue_query may add local-hit records; they are included.
+            pass
+    return metrics
+
+
+def run_replicated(
+    schemes: Sequence[str | SchemeConfig],
+    settings: Settings,
+    with_queries: bool = False,
+    num_caching_nodes: Optional[int] = None,
+) -> dict[str, list[RunMetrics]]:
+    """Run every scheme on every seed's trace; paired across schemes."""
+    results: dict[str, list[RunMetrics]] = {}
+    for seed in settings.seeds:
+        trace = make_trace(settings, seed)
+        catalog = make_catalog(settings, choose_sources(trace, settings))
+        for scheme in schemes:
+            metrics = run_once(
+                trace,
+                scheme,
+                settings,
+                seed=seed,
+                with_queries=with_queries,
+                catalog=catalog,
+                num_caching_nodes=num_caching_nodes,
+            )
+            results.setdefault(metrics.scheme, []).append(metrics)
+    return results

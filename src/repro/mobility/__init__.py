@@ -1,0 +1,58 @@
+"""Mobility substrate: contact traces, generators, loaders, calibration.
+
+The evaluation of the paper is trace-driven: everything above this layer
+consumes a :class:`~repro.mobility.trace.ContactTrace` -- a time-ordered
+list of pairwise contacts.  This package provides:
+
+- :mod:`repro.mobility.trace` -- the trace data model and statistics.
+- :mod:`repro.mobility.synthetic` -- heterogeneous pairwise-Poisson
+  contact generators (the model the paper's analysis assumes).
+- :mod:`repro.mobility.community` -- community-structured and diurnal
+  generators in the spirit of HCMM.
+- :mod:`repro.mobility.rwp` -- a spatial random-waypoint model that
+  derives contacts from node positions.
+- :mod:`repro.mobility.workingday` -- a behavioural model (homes,
+  offices, meeting spots) whose contacts emerge from daily routines.
+- :mod:`repro.mobility.loaders` -- parsers for on-disk trace formats
+  (plain pairwise and ONE connectivity reports) so real CRAWDAD traces
+  drop in.
+- :mod:`repro.mobility.calibration` -- synthetic stand-ins calibrated to
+  the published statistics of the traces the paper evaluates on.
+"""
+
+from repro.mobility.trace import Contact, ContactTrace, TraceStats
+from repro.mobility.synthetic import (
+    PoissonContactModel,
+    community_rate_matrix,
+    gamma_rate_matrix,
+    homogeneous_rate_matrix,
+)
+from repro.mobility.community import CommunityModel, DiurnalModel
+from repro.mobility.rwp import RandomWaypointModel
+from repro.mobility.workingday import WorkingDayModel
+from repro.mobility.loaders import (
+    load_one_report,
+    load_pairwise,
+    write_pairwise,
+)
+from repro.mobility.calibration import TraceProfile, get_profile, list_profiles
+
+__all__ = [
+    "CommunityModel",
+    "Contact",
+    "ContactTrace",
+    "DiurnalModel",
+    "PoissonContactModel",
+    "RandomWaypointModel",
+    "TraceProfile",
+    "TraceStats",
+    "WorkingDayModel",
+    "community_rate_matrix",
+    "gamma_rate_matrix",
+    "get_profile",
+    "homogeneous_rate_matrix",
+    "list_profiles",
+    "load_one_report",
+    "load_pairwise",
+    "write_pairwise",
+]

@@ -1,0 +1,137 @@
+"""On-disk trace formats.
+
+Two reader formats are supported so that real CRAWDAD traces drop into
+the pipeline unchanged:
+
+- **pairwise** -- whitespace-separated ``node_a node_b start end`` lines
+  (the format the Haggle/Reality contact dumps are usually distributed
+  in); ``#`` comments and blank lines are ignored.
+- **ONE connectivity reports** -- lines of the form
+  ``<time> CONN <a> <b> up|down`` produced by the ONE simulator.
+
+``write_pairwise`` round-trips a trace to the pairwise format.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Optional, TextIO, Union
+
+from repro.mobility.trace import Contact, ContactTrace
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+def _open_for_read(source: PathOrFile):
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8"), True
+    return source, False
+
+
+def load_pairwise(
+    source: PathOrFile,
+    name: Optional[str] = None,
+    time_scale: float = 1.0,
+) -> ContactTrace:
+    """Load a pairwise-format trace.
+
+    ``time_scale`` multiplies the timestamps, e.g. pass ``3600`` for a
+    file whose times are in hours.
+    """
+    handle, should_close = _open_for_read(source)
+    contacts: list[Contact] = []
+    try:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(
+                    f"line {lineno}: expected 'a b start end', got {line!r}"
+                )
+            a, b = int(parts[0]), int(parts[1])
+            start, end = float(parts[2]) * time_scale, float(parts[3]) * time_scale
+            contacts.append(Contact.make(a, b, start, end))
+    finally:
+        if should_close:
+            handle.close()
+    trace_name = name or (str(source) if isinstance(source, (str, Path)) else "pairwise")
+    return ContactTrace(contacts, name=trace_name)
+
+
+def load_one_report(
+    source: PathOrFile,
+    name: Optional[str] = None,
+) -> ContactTrace:
+    """Load a ONE-simulator connectivity report (``CONN up/down`` events).
+
+    An ``up`` without a matching ``down`` is closed at the last event
+    time in the file.  Node tokens may be bare integers or carry a
+    non-numeric prefix (e.g. ``n17``), which is stripped.
+    """
+    handle, should_close = _open_for_read(source)
+    open_since: dict[tuple[int, int], float] = {}
+    contacts: list[Contact] = []
+    last_time = 0.0
+    try:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 5 or parts[1].upper() != "CONN":
+                raise ValueError(
+                    f"line {lineno}: expected '<time> CONN <a> <b> up|down', got {line!r}"
+                )
+            time = float(parts[0])
+            a, b = _parse_node(parts[2]), _parse_node(parts[3])
+            state = parts[4].lower()
+            if a > b:
+                a, b = b, a
+            last_time = max(last_time, time)
+            if state == "up":
+                open_since.setdefault((a, b), time)
+            elif state == "down":
+                start = open_since.pop((a, b), None)
+                if start is not None and time > start:
+                    contacts.append(Contact.make(a, b, start, time))
+            else:
+                raise ValueError(f"line {lineno}: unknown state {state!r}")
+    finally:
+        if should_close:
+            handle.close()
+    for (a, b), start in open_since.items():
+        if last_time > start:
+            contacts.append(Contact.make(a, b, start, last_time))
+    trace_name = name or (str(source) if isinstance(source, (str, Path)) else "one-report")
+    return ContactTrace(contacts, name=trace_name)
+
+
+def _parse_node(token: str) -> int:
+    digits = "".join(ch for ch in token if ch.isdigit())
+    if not digits:
+        raise ValueError(f"node token {token!r} has no numeric id")
+    return int(digits)
+
+
+def write_pairwise(trace: ContactTrace, target: PathOrFile) -> None:
+    """Write ``trace`` in the pairwise format (sorted, one contact/line)."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            _write_pairwise(trace, handle)
+    else:
+        _write_pairwise(trace, target)
+
+
+def _write_pairwise(trace: ContactTrace, handle: TextIO) -> None:
+    handle.write(f"# trace: {trace.name}\n")
+    handle.write(f"# nodes: {trace.num_nodes} contacts: {len(trace)}\n")
+    for c in trace:
+        handle.write(f"{c.a} {c.b} {c.start:.3f} {c.end:.3f}\n")
+
+
+def loads_pairwise(text: str, name: str = "pairwise") -> ContactTrace:
+    """Parse pairwise-format trace from a string (tests convenience)."""
+    return load_pairwise(io.StringIO(text), name=name)

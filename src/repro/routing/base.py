@@ -1,0 +1,195 @@
+"""Routing agent base: buffering, dedup, delivery, forwarding loop.
+
+A :class:`RoutingAgent` is a :class:`~repro.sim.node.ProtocolHandler`
+that owns a message buffer.  Subclasses implement only the forwarding
+*policy* (:meth:`RoutingAgent.should_forward` and, for quota schemes,
+:meth:`RoutingAgent.split_for`); the mechanics -- buffer limits, TTL
+expiry, duplicate suppression, delivery callbacks, per-kind statistics
+-- live here.
+
+Upper layers (the caching protocol) inject messages with
+:meth:`RoutingAgent.originate` and register per-kind delivery callbacks
+with :meth:`RoutingAgent.on_delivery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.messages import Message
+from repro.sim.node import Node, ProtocolHandler
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass
+class DeliveryRecord:
+    """Bookkeeping for one end-to-end delivery."""
+
+    msg_id: int
+    kind: str
+    src: int
+    dst: int
+    created_at: float
+    delivered_at: float
+
+    @property
+    def delay(self) -> float:
+        return self.delivered_at - self.created_at
+
+
+class RoutingAgent(ProtocolHandler):
+    """Store-carry-forward agent; subclasses define the policy."""
+
+    #: message kinds this agent transports; ``None`` means every kind
+    #: except those another handler claims explicitly.
+    handled_kinds: Optional[frozenset[str]] = None
+
+    def __init__(
+        self,
+        buffer_capacity: Optional[int] = None,
+        stats: Optional[StatsRegistry] = None,
+        kinds: Optional[frozenset[str]] = None,
+    ) -> None:
+        super().__init__()
+        if kinds is not None:
+            self.handled_kinds = frozenset(kinds)
+        self.buffer: dict[int, Message] = {}
+        self.buffer_capacity = buffer_capacity
+        self.seen: set[int] = set()
+        self.stats = stats or StatsRegistry()
+        self.deliveries: list[DeliveryRecord] = []
+        self._callbacks: dict[str, list[Callable[[Message], None]]] = {}
+
+    # -- public API for upper layers -------------------------------------
+
+    def originate(self, message: Message) -> None:
+        """Inject a locally created message into the network."""
+        self.stats.counter(f"routing.originated.{message.kind}").add(1)
+        if message.dst == self.node.node_id:
+            self._deliver(message)
+            return
+        self.seen.add(message.msg_id)
+        self._store(message)
+        # A contact may already be open: try forwarding immediately.
+        stored = self.buffer.get(message.msg_id)
+        if stored is None:
+            return
+        for peer_id in list(self.node.neighbors):
+            peer = self.node.network.nodes[peer_id]
+            self._try_forward_one(stored, peer)
+
+    def on_delivery(self, kind: str, callback: Callable[[Message], None]) -> None:
+        """Register ``callback(message)`` for delivered messages of ``kind``."""
+        self._callbacks.setdefault(kind, []).append(callback)
+
+    # -- policy hooks -------------------------------------------------------
+
+    def should_forward(self, message: Message, peer: Node) -> bool:
+        """Whether to hand ``message`` to ``peer`` on this contact."""
+        raise NotImplementedError
+
+    def split_for(self, message: Message, peer: Node) -> Message:
+        """The copy actually sent (quota schemes adjust token counts)."""
+        return message.copy()
+
+    def after_forward(self, message: Message, peer: Node) -> None:
+        """Hook after a successful transfer (e.g. drop the local copy)."""
+
+    def peer_agent(self, peer: Node) -> Optional["RoutingAgent"]:
+        """The peer's routing agent of the same class, if any.
+
+        Direct object access stands in for the zero-payload metadata
+        handshake (summary vectors, predictability exchange) that real
+        implementations perform at contact start.
+        """
+        agent = peer.find_handler(type(self))
+        return agent if isinstance(agent, RoutingAgent) else None
+
+    # -- ProtocolHandler hooks -----------------------------------------------
+
+    def on_contact_start(self, peer: Node) -> None:
+        self._expire_buffer()
+        self._try_forward_all(peer)
+
+    def on_message(self, message: Message, sender: Node) -> None:
+        if message.dst == self.node.node_id:
+            if message.msg_id not in self.seen:
+                self.seen.add(message.msg_id)
+                self._deliver(message)
+            return
+        if message.msg_id in self.seen and message.msg_id not in self.buffer:
+            # Already relayed and dropped (or delivered): ignore the dup.
+            self.stats.counter("routing.duplicates").add(1)
+            return
+        self.seen.add(message.msg_id)
+        self._store(message)
+        # Opportunistically forward *this* message onward to other open
+        # contacts.  (Only the new arrival: the rest of the buffer was
+        # already offered to these peers when the contacts opened, and
+        # re-scanning it per arrival is quadratic in buffered messages.)
+        stored = self.buffer.get(message.msg_id)
+        if stored is None:
+            return
+        for peer_id in list(self.node.neighbors):
+            if peer_id != sender.node_id:
+                self._try_forward_one(stored, self.node.network.nodes[peer_id])
+
+    # -- internals ---------------------------------------------------------
+
+    def _try_forward_all(self, peer: Node) -> None:
+        for message in list(self.buffer.values()):
+            self._try_forward_one(message, peer)
+
+    def _try_forward_one(self, message: Message, peer: Node) -> None:
+        if message.expired(self.node.sim.now):
+            return
+        if not self.should_forward(message, peer):
+            return
+        outgoing = self.split_for(message, peer)
+        if self.node.send(outgoing, peer):
+            self.stats.counter(f"routing.forwarded.{message.kind}").add(1)
+            self.after_forward(message, peer)
+
+    def _store(self, message: Message) -> None:
+        if message.expired(self.node.sim.now):
+            self.stats.counter("routing.dropped_expired").add(1)
+            return
+        if message.msg_id in self.buffer:
+            return
+        if self.buffer_capacity is not None and len(self.buffer) >= self.buffer_capacity:
+            self._evict_one()
+        self.buffer[message.msg_id] = message
+
+    def _evict_one(self) -> None:
+        """Drop the oldest message (FIFO by creation time)."""
+        if not self.buffer:
+            return
+        victim = min(self.buffer.values(), key=lambda m: (m.created_at, m.msg_id))
+        del self.buffer[victim.msg_id]
+        self.stats.counter("routing.evicted").add(1)
+
+    def _expire_buffer(self) -> None:
+        now = self.node.sim.now
+        dead = [mid for mid, m in self.buffer.items() if m.expired(now)]
+        for mid in dead:
+            del self.buffer[mid]
+        if dead:
+            self.stats.counter("routing.dropped_expired").add(len(dead))
+
+    def _deliver(self, message: Message) -> None:
+        now = self.node.sim.now
+        self.deliveries.append(
+            DeliveryRecord(
+                msg_id=message.msg_id,
+                kind=message.kind,
+                src=message.src,
+                dst=self.node.node_id,
+                created_at=message.created_at,
+                delivered_at=now,
+            )
+        )
+        self.stats.counter(f"routing.delivered.{message.kind}").add(1)
+        self.stats.tally(f"routing.delay.{message.kind}").observe(now - message.created_at)
+        for callback in self._callbacks.get(message.kind, []):
+            callback(message)

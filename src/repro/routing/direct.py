@@ -1,0 +1,23 @@
+"""Direct delivery: hand a message only to its destination.
+
+One transmission per delivered message -- the overhead floor and the
+delay ceiling among single-copy policies.  Used by experiments as the
+conservative transport and by spray-and-wait in its wait phase.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import RoutingAgent
+from repro.sim.messages import Message
+from repro.sim.node import Node
+
+
+class DirectDelivery(RoutingAgent):
+    """Forward only when the peer is the destination."""
+
+    def should_forward(self, message: Message, peer: Node) -> bool:
+        return message.dst == peer.node_id
+
+    def after_forward(self, message: Message, peer: Node) -> None:
+        # The destination has it; the local copy is no longer useful.
+        self.buffer.pop(message.msg_id, None)

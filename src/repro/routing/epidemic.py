@@ -1,0 +1,30 @@
+"""Epidemic routing: replicate every message to every new peer.
+
+The flooding upper bound: minimum delivery delay, maximum transmission
+overhead.  A summary-vector handshake (modelled by peeking at the peer's
+``seen`` set) suppresses re-sending messages the peer already carries.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import RoutingAgent
+from repro.sim.messages import Message
+from repro.sim.node import Node
+
+
+class EpidemicRouting(RoutingAgent):
+    """Replicate to any peer that has not seen the message yet."""
+
+    def should_forward(self, message: Message, peer: Node) -> bool:
+        if message.hops_left is not None and message.hops_left <= 0:
+            return False
+        peer_agent = self.peer_agent(peer)
+        if peer_agent is None:
+            return message.dst == peer.node_id
+        return message.msg_id not in peer_agent.seen
+
+    def split_for(self, message: Message, peer: Node) -> Message:
+        outgoing = message.copy()
+        if outgoing.hops_left is not None:
+            outgoing.hops_left -= 1
+        return outgoing

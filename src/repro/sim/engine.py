@@ -1,0 +1,162 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a classic event-heap design: callbacks are scheduled at
+absolute simulation times, and :meth:`Simulator.run` pops them in
+(time, priority, insertion-order) order.  Ties on time are broken first
+by an explicit integer priority (lower runs first) and then by insertion
+order, so a simulation with a fixed seed replays event-for-event.
+
+Times are plain floats in seconds.  The engine knows nothing about
+networks or traces; :mod:`repro.sim.network` builds on it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine usage (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, priority, seq)`` so the heap pops them
+    deterministically.  ``cancelled`` events stay in the heap but are
+    skipped when popped (lazy deletion).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event heap plus simulation clock.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule_at(5.0, print, "hello at t=5")
+        sim.run(until=10.0)
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks executed so far (skipped events excluded)."""
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``.
+
+        Scheduling strictly in the past raises :class:`SimulationError`;
+        scheduling exactly at ``now`` is allowed (the event runs after
+        the current callback returns).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f}, now is t={self._now:.6f}"
+            )
+        event = Event(float(time), priority, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` after a relative ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Execute events in order until the heap drains or limits hit.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` run.
+        Returns the simulation time when the run stopped.  The clock
+        advances to ``until`` even when the heap drains earlier, so a
+        subsequent ``run`` continues from there.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while self._heap:
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback(*event.args)
+                self._events_executed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            if until is not None and self._now < until:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute the single next non-cancelled event.
+
+        Returns ``True`` if an event ran, ``False`` if the heap is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._events_executed += 1
+            return True
+        return False
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or ``None`` if drained."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,70 @@
+"""Message data model.
+
+Messages are the unit of exchange during a contact.  A message carries an
+application ``kind`` (e.g. ``"refresh"``, ``"query"``), source and
+destination node ids, a size in bytes (used by bandwidth-limited link
+models), an optional hop budget, and an opaque ``payload`` dict owned by
+the protocol that created it.
+
+Replication-style protocols duplicate messages with :meth:`Message.copy`;
+copies share the logical ``msg_id`` (so duplicate suppression works) but
+get distinct ``copy_id`` values for bookkeeping.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_MSG_IDS = itertools.count(1)
+_COPY_IDS = itertools.count(1)
+
+
+def reset_message_ids() -> None:
+    """Reset the global id counters (used by tests for determinism)."""
+    global _MSG_IDS, _COPY_IDS
+    _MSG_IDS = itertools.count(1)
+    _COPY_IDS = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A protocol message exchanged over opportunistic contacts."""
+
+    kind: str
+    src: int
+    dst: Optional[int]
+    created_at: float
+    size: int = 256
+    ttl: Optional[float] = None
+    hops_left: Optional[int] = None
+    payload: dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_MSG_IDS))
+    copy_id: int = field(default_factory=lambda: next(_COPY_IDS))
+    hop_count: int = 0
+
+    def copy(self) -> "Message":
+        """A replica of this message: same ``msg_id``, new ``copy_id``."""
+        return Message(
+            kind=self.kind,
+            src=self.src,
+            dst=self.dst,
+            created_at=self.created_at,
+            size=self.size,
+            ttl=self.ttl,
+            hops_left=self.hops_left,
+            payload=dict(self.payload),
+            msg_id=self.msg_id,
+            hop_count=self.hop_count,
+        )
+
+    def expired(self, now: float) -> bool:
+        """True if the message's TTL has elapsed at simulation time ``now``."""
+        return self.ttl is not None and now - self.created_at > self.ttl
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message({self.kind} #{self.msg_id}.{self.copy_id} "
+            f"{self.src}->{self.dst} t={self.created_at:.1f})"
+        )

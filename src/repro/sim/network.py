@@ -1,0 +1,227 @@
+"""Contact-driven network: replays a contact trace over a node set.
+
+The network schedules a ``contact_started`` / ``contact_ended`` pair for
+every contact in the trace and brokers message transfers between nodes
+that are currently in contact.  Transfers are subject to a pluggable
+:class:`LinkModel`; the default is an unlimited link (the model used by
+the paper-style evaluation, where contacts are long relative to message
+sizes), and :class:`BandwidthLimitedLink` enforces a per-contact byte
+budget derived from contact duration.
+
+Deliveries are flattened through the event heap (scheduled at the current
+time) so protocol ping-pong during a contact cannot recurse unboundedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.messages import Message
+from repro.sim.node import Node
+from repro.sim.stats import StatsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mobility.trace import Contact
+
+#: Event priorities: deliveries at a timestamp run before contact ends.
+_PRIORITY_CONTACT_START = 0
+_PRIORITY_DELIVERY = 5
+_PRIORITY_CONTACT_END = 10
+
+
+class LinkModel:
+    """Decides whether a transfer is admitted and how it is charged.
+
+    The default admits everything.
+    """
+
+    def contact_opened(self, a: int, b: int, duration: float) -> None:
+        """Hook: a contact between ``a`` and ``b`` opened."""
+
+    def admits(self, message: Message, a: int, b: int) -> bool:
+        """True if ``message`` may be transferred on the (a, b) contact."""
+        return True
+
+    def charge(self, message: Message, a: int, b: int) -> None:
+        """Account for a transfer that was admitted."""
+
+
+class BandwidthLimitedLink(LinkModel):
+    """Per-contact byte budget: ``bandwidth_bps * duration`` bytes.
+
+    Models short contacts that cannot carry unbounded data.  Budgets are
+    tracked per unordered node pair and reset whenever a new contact
+    between the pair opens.
+    """
+
+    def __init__(self, bandwidth_bps: float) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth_bps = float(bandwidth_bps)
+        self._budget: dict[tuple[int, int], float] = {}
+
+    @staticmethod
+    def _key(a: int, b: int) -> tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    def contact_opened(self, a: int, b: int, duration: float) -> None:
+        self._budget[self._key(a, b)] = self.bandwidth_bps * duration / 8.0
+
+    def admits(self, message: Message, a: int, b: int) -> bool:
+        return self._budget.get(self._key(a, b), 0.0) >= message.size
+
+    def charge(self, message: Message, a: int, b: int) -> None:
+        self._budget[self._key(a, b)] -= message.size
+
+
+@dataclass
+class TransferRecord:
+    """One admitted transfer, for post-hoc overhead analysis."""
+
+    time: float
+    kind: str
+    sender: int
+    receiver: int
+    size: int
+    msg_id: int
+
+
+class ContactNetwork:
+    """Replays a contact trace and brokers transfers between nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: dict[int, Node],
+        contacts: Iterable["Contact"],
+        link_model: Optional[LinkModel] = None,
+        stats: Optional[StatsRegistry] = None,
+        record_transfers: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.nodes = dict(nodes)
+        self.link_model = link_model or LinkModel()
+        self.stats = stats or StatsRegistry()
+        self.record_transfers = record_transfers
+        self.transfers: list[TransferRecord] = []
+        self._started = False
+        for node in self.nodes.values():
+            node.network = self
+        self._schedule_trace(contacts)
+
+    def _schedule_trace(self, contacts: Iterable["Contact"]) -> None:
+        count = 0
+        for contact in contacts:
+            if contact.a not in self.nodes or contact.b not in self.nodes:
+                continue
+            self.sim.schedule_at(
+                contact.start,
+                self._contact_start,
+                contact.a,
+                contact.b,
+                contact.end - contact.start,
+                priority=_PRIORITY_CONTACT_START,
+            )
+            self.sim.schedule_at(
+                contact.end,
+                self._contact_end,
+                contact.a,
+                contact.b,
+                priority=_PRIORITY_CONTACT_END,
+            )
+            count += 1
+        self.stats.counter("net.contacts_scheduled").add(count)
+
+    def start(self) -> None:
+        """Fire every node's ``on_start`` hooks (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for node_id in sorted(self.nodes):
+            self.nodes[node_id].start()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Start the nodes and run the simulation to ``until``."""
+        self.start()
+        return self.sim.run(until=until)
+
+    # -- trace event handlers ---------------------------------------------
+
+    def _contact_start(self, a: int, b: int, duration: float) -> None:
+        node_a, node_b = self.nodes[a], self.nodes[b]
+        if not (node_a.online and node_b.online):
+            self.stats.counter("net.contacts_skipped_offline").add(1)
+            return
+        self.link_model.contact_opened(a, b, duration)
+        self.stats.counter("net.contacts").add(1)
+        node_a.contact_started(node_b)
+        node_b.contact_started(node_a)
+
+    def _contact_end(self, a: int, b: int) -> None:
+        node_a, node_b = self.nodes[a], self.nodes[b]
+        # Only close contacts that actually opened (both ends were online).
+        if node_a.in_contact_with(b):
+            node_a.contact_ended(node_b)
+        if node_b.in_contact_with(a):
+            node_b.contact_ended(node_a)
+
+    def set_online(self, node_id: int, online: bool) -> None:
+        """Take a node offline (closing its open contacts) or bring it back."""
+        node = self.nodes[node_id]
+        if node.online == online:
+            return
+        node.online = online
+        if not online:
+            for peer_id in list(node.neighbors):
+                peer = self.nodes[peer_id]
+                node.contact_ended(peer)
+                peer.contact_ended(node)
+            self.stats.counter("net.nodes_went_offline").add(1)
+        else:
+            self.stats.counter("net.nodes_came_online").add(1)
+
+    # -- transfer path ------------------------------------------------------
+
+    def transfer(self, message: Message, sender: Node, receiver: Node) -> bool:
+        """Transfer ``message`` from ``sender`` to ``receiver``.
+
+        Returns ``True`` when the transfer was admitted; delivery happens
+        through the event heap at the current simulation time.  Rejected
+        transfers (nodes not in contact, link budget exhausted, message
+        TTL expired) are counted and dropped.
+        """
+        if not sender.in_contact_with(receiver.node_id):
+            self.stats.counter("net.transfer_rejected_no_contact").add(1)
+            return False
+        if message.expired(self.sim.now):
+            self.stats.counter("net.transfer_rejected_expired").add(1)
+            return False
+        if not self.link_model.admits(message, sender.node_id, receiver.node_id):
+            self.stats.counter("net.transfer_rejected_bandwidth").add(1)
+            return False
+        self.link_model.charge(message, sender.node_id, receiver.node_id)
+        message.hop_count += 1
+        self.stats.counter("net.transfers").add(1)
+        self.stats.counter(f"net.transfers.{message.kind}").add(1)
+        self.stats.counter("net.bytes").add(message.size)
+        if self.record_transfers:
+            self.transfers.append(
+                TransferRecord(
+                    time=self.sim.now,
+                    kind=message.kind,
+                    sender=sender.node_id,
+                    receiver=receiver.node_id,
+                    size=message.size,
+                    msg_id=message.msg_id,
+                )
+            )
+        self.sim.schedule_at(
+            self.sim.now,
+            receiver.receive,
+            message,
+            sender,
+            priority=_PRIORITY_DELIVERY,
+        )
+        return True

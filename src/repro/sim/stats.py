@@ -1,0 +1,147 @@
+"""Counters and time-series recorders shared across the stack.
+
+A :class:`StatsRegistry` is a flat namespace of named :class:`Counter`,
+:class:`TimeSeries` and :class:`Tally` instruments.  Protocols record
+into it during a run; :mod:`repro.analysis` reads it afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+
+class Counter:
+    """A monotonically adjustable scalar (usually a count)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}={self.value})"
+
+
+class Tally:
+    """Streaming mean/variance/min/max over observed samples (Welford)."""
+
+    __slots__ = ("name", "count", "_mean", "_m2", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); NaN with fewer than 2 samples."""
+        return self._m2 / (self.count - 1) if self.count > 1 else math.nan
+
+    @property
+    def stdev(self) -> float:
+        var = self.variance
+        return math.sqrt(var) if var == var else math.nan
+
+
+class TimeSeries:
+    """(time, value) samples recorded over a run."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    def mean(self) -> float:
+        """Unweighted mean of the recorded values."""
+        return sum(self.values) / len(self.values) if self.values else math.nan
+
+    def time_average(self, horizon: Optional[float] = None) -> float:
+        """Piecewise-constant time average of the series.
+
+        Each value is held until the next sample; the final value is held
+        until ``horizon`` (defaults to the last sample time, i.e. the
+        final value gets zero weight).
+        """
+        if not self.times:
+            return math.nan
+        end = self.times[-1] if horizon is None else horizon
+        if end <= self.times[0]:
+            return self.values[0]
+        total = 0.0
+        for i, (t, v) in enumerate(zip(self.times, self.values)):
+            t_next = self.times[i + 1] if i + 1 < len(self.times) else end
+            t_next = min(t_next, end)
+            if t_next > t:
+                total += v * (t_next - t)
+        return total / (end - self.times[0])
+
+
+class StatsRegistry:
+    """Flat namespace of instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._series: dict[str, TimeSeries] = {}
+        self._tallies: dict[str, Tally] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def tally(self, name: str) -> Tally:
+        if name not in self._tallies:
+            self._tallies[name] = Tally(name)
+        return self._tallies[name]
+
+    def counter_value(self, name: str, default: float = 0.0) -> float:
+        """Read a counter without creating it."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else default
+
+    def counters(self) -> dict[str, float]:
+        """Snapshot of all counter values."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def all_series(self) -> dict[str, TimeSeries]:
+        return dict(self._series)
+
+    def all_tallies(self) -> dict[str, Tally]:
+        return dict(self._tallies)

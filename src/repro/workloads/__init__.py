@@ -1,0 +1,6 @@
+"""Workload generation: item popularity and query arrival processes."""
+
+from repro.workloads.popularity import UniformPopularity, ZipfPopularity
+from repro.workloads.queries import schedule_queries
+
+__all__ = ["UniformPopularity", "ZipfPopularity", "schedule_queries"]

@@ -1,0 +1,56 @@
+"""Item popularity distributions.
+
+Data access in mobile networks is skewed: a few items attract most
+queries.  The standard model -- and the one used by this research
+line's evaluations -- is Zipf: item of rank ``r`` is requested with
+probability proportional to ``1 / r**s``, with exponent ``s`` around
+0.8 for web-like workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class ZipfPopularity:
+    """Zipf-distributed popularity over a fixed set of item ids.
+
+    Items are ranked in the order given: ``item_ids[0]`` is the most
+    popular.  ``s=0`` degenerates to uniform.
+    """
+
+    def __init__(self, item_ids: Sequence[int], s: float = 0.8) -> None:
+        if len(item_ids) == 0:
+            raise ValueError("need at least one item")
+        if s < 0:
+            raise ValueError("Zipf exponent must be non-negative")
+        self.item_ids = [int(i) for i in item_ids]
+        self.s = float(s)
+        weights = np.arange(1, len(self.item_ids) + 1, dtype=float) ** (-self.s)
+        self._pmf = weights / weights.sum()
+        self._cdf = np.cumsum(self._pmf)
+
+    def pmf(self) -> np.ndarray:
+        """Probability of each item, in rank order."""
+        return self._pmf.copy()
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one item id."""
+        index = int(np.searchsorted(self._cdf, rng.random(), side="right"))
+        return self.item_ids[min(index, len(self.item_ids) - 1)]
+
+    def sample_many(self, count: int, rng: np.random.Generator) -> list[int]:
+        """Draw ``count`` item ids."""
+        draws = rng.random(count)
+        indexes = np.searchsorted(self._cdf, draws, side="right")
+        last = len(self.item_ids) - 1
+        return [self.item_ids[min(int(i), last)] for i in indexes]
+
+
+class UniformPopularity(ZipfPopularity):
+    """All items equally popular (``s = 0``)."""
+
+    def __init__(self, item_ids: Sequence[int]) -> None:
+        super().__init__(item_ids, s=0.0)

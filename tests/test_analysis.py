@@ -1,0 +1,215 @@
+"""Tests for metrics, aggregation and table formatting."""
+
+import math
+
+import pytest
+
+from repro.analysis.aggregate import Summary, summarize
+from repro.analysis.metrics import judge_queries, refresh_outcomes
+from repro.analysis.tables import format_series, format_table
+from repro.caching.items import DataCatalog, DataItem, VersionHistory
+from repro.caching.query import QueryRecord
+from repro.core.refresh import RefreshUpdate
+
+
+def make_history() -> tuple[DataCatalog, VersionHistory]:
+    catalog = DataCatalog(
+        [DataItem(item_id=0, source=9, refresh_interval=100.0, lifetime=200.0)]
+    )
+    history = VersionHistory()
+    history.record(0, 1, 0.0)
+    history.record(0, 2, 100.0)
+    history.record(0, 3, 200.0)
+    return catalog, history
+
+
+class TestJudgeQueries:
+    def record(self, answered_at=None, version=None, version_time=None):
+        record = QueryRecord(query_id=1, requester=5, item_id=0, issued_at=10.0)
+        if answered_at is not None:
+            record.answered_at = answered_at
+            record.version = version
+            record.version_time = version_time
+            record.served_by = 7
+        return record
+
+    def test_fresh_and_valid(self):
+        catalog, history = make_history()
+        outcomes = judge_queries(
+            [self.record(answered_at=50.0, version=1, version_time=0.0)],
+            history, catalog,
+        )
+        assert outcomes.answered == 1
+        assert outcomes.fresh == 1
+        assert outcomes.valid == 1
+        assert outcomes.mean_delay == 40.0
+
+    def test_stale_but_unexpired(self):
+        catalog, history = make_history()
+        # version 1 served at t=150: version 2 exists, but lifetime 200 keeps it valid
+        outcomes = judge_queries(
+            [self.record(answered_at=150.0, version=1, version_time=0.0)],
+            history, catalog,
+        )
+        assert outcomes.fresh == 0
+        assert outcomes.valid == 1
+
+    def test_expired(self):
+        catalog, history = make_history()
+        outcomes = judge_queries(
+            [self.record(answered_at=250.0, version=1, version_time=0.0)],
+            history, catalog,
+        )
+        assert outcomes.fresh == 0
+        assert outcomes.valid == 0
+
+    def test_unanswered(self):
+        catalog, history = make_history()
+        outcomes = judge_queries([self.record()], history, catalog)
+        assert outcomes.issued == 1
+        assert outcomes.answered == 0
+        assert math.isnan(outcomes.answer_ratio) or outcomes.answer_ratio == 0.0
+        assert math.isnan(outcomes.fresh_ratio)
+
+    def test_end_to_end_validity_counts_unanswered(self):
+        catalog, history = make_history()
+        outcomes = judge_queries(
+            [
+                self.record(),
+                self.record(answered_at=50.0, version=1, version_time=0.0),
+            ],
+            history, catalog,
+        )
+        assert outcomes.end_to_end_validity == 0.5
+
+    def test_empty(self):
+        catalog, history = make_history()
+        outcomes = judge_queries([], history, catalog)
+        assert math.isnan(outcomes.answer_ratio)
+
+
+class TestRefreshOutcomes:
+    def update(self, node, version, at):
+        return RefreshUpdate(
+            item_id=0, node=node, version=version,
+            version_time=(version - 1) * 100.0, updated_at=at, via="direct",
+        )
+
+    def test_on_time_and_late(self):
+        catalog, history = make_history()
+        log = [
+            self.update(node=1, version=2, at=150.0),   # before v3 at 200: on time
+            self.update(node=2, version=2, at=250.0),   # after v3: late
+        ]
+        outcomes = refresh_outcomes(
+            log, history, catalog, caching_nodes=[1, 2], horizon=400.0, messages=10.0
+        )
+        # scoreable: v2 and v3 for 2 nodes = 4 opportunities
+        assert outcomes.opportunities == 4
+        assert outcomes.delivered_on_time == 1
+        assert outcomes.delivered_late == 1
+        assert outcomes.on_time_ratio == 0.25
+        assert outcomes.messages_per_update == 5.0
+
+    def test_earliest_update_wins(self):
+        catalog, history = make_history()
+        log = [
+            self.update(node=1, version=2, at=300.0),
+            self.update(node=1, version=2, at=150.0),
+        ]
+        outcomes = refresh_outcomes(
+            log, history, catalog, caching_nodes=[1], horizon=400.0, messages=0.0
+        )
+        assert outcomes.delivered_on_time == 1
+        assert outcomes.delivered_late == 0
+
+    def test_versions_without_full_window_not_scored(self):
+        catalog, history = make_history()
+        # horizon 250: version 3 (published 200) lacks a full 100 s window
+        outcomes = refresh_outcomes(
+            [], history, catalog, caching_nodes=[1], horizon=250.0, messages=0.0
+        )
+        assert outcomes.opportunities == 1  # only version 2
+
+    def test_version_one_not_scored(self):
+        catalog, history = make_history()
+        log = [self.update(node=1, version=1, at=5.0)]
+        outcomes = refresh_outcomes(
+            log, history, catalog, caching_nodes=[1], horizon=400.0, messages=0.0
+        )
+        assert outcomes.delivered_on_time + outcomes.delivered_late == 0
+
+    def test_empty_history(self):
+        catalog = DataCatalog(
+            [DataItem(item_id=0, source=9, refresh_interval=10.0, lifetime=20.0)]
+        )
+        outcomes = refresh_outcomes(
+            [], VersionHistory(), catalog, caching_nodes=[1], horizon=100.0,
+            messages=0.0,
+        )
+        assert outcomes.opportunities == 0
+        assert math.isnan(outcomes.on_time_ratio)
+
+
+class TestSummarize:
+    def test_single_value(self):
+        summary = summarize([0.5])
+        assert summary.mean == 0.5
+        assert summary.ci95 == 0.0
+        assert summary.n == 1
+
+    def test_mean_and_ci(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.std == 1.0
+        # t(2, 0.975) = 4.303
+        assert summary.ci95 == pytest.approx(4.303 / math.sqrt(3), rel=1e-3)
+
+    def test_nans_dropped(self):
+        summary = summarize([1.0, float("nan"), 3.0])
+        assert summary.n == 2
+        assert summary.mean == 2.0
+
+    def test_all_nan(self):
+        summary = summarize([float("nan")])
+        assert summary.n == 0
+        assert math.isnan(summary.mean)
+
+    def test_str_formats(self):
+        assert str(Summary(mean=0.5, std=0.0, ci95=0.0, n=1)) == "0.5000"
+        assert "+/-" in str(Summary(mean=0.5, std=0.1, ci95=0.05, n=3))
+        assert str(Summary(mean=math.nan, std=math.nan, ci95=math.nan, n=0)) == "n/a"
+
+    def test_large_n_uses_normal_value(self):
+        values = [float(v % 7) for v in range(500)]
+        summary = summarize(values)
+        assert summary.n == 500
+        assert summary.ci95 > 0
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        rows = [{"name": "a", "value": 1.5}, {"name": "bb", "value": 22.0}]
+        text = format_table(rows, title="T", precision=1)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.5" in text and "22.0" in text
+
+    def test_format_table_missing_cells(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        assert "-" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_format_series(self):
+        text = format_series("x", [1, 2], {"hdr": [0.5, 0.6], "src": [0.1, 0.2]})
+        lines = text.splitlines()
+        assert lines[0].split() == ["x", "hdr", "src"]
+        assert len(lines) == 4
+
+    def test_format_series_short_series_padded(self):
+        text = format_series("x", [1, 2], {"hdr": [0.5]})
+        assert "-" in text.splitlines()[-1]

@@ -1,0 +1,98 @@
+"""Tests for CSV export of experiment results."""
+
+import csv
+
+import pytest
+
+from repro.analysis.aggregate import Summary
+from repro.analysis.export import export_result, export_rows, export_series
+from repro.experiments.runner import ExperimentResult
+
+
+def read_csv(path):
+    with open(path, newline="", encoding="utf-8") as handle:
+        return list(csv.reader(handle))
+
+
+class TestExportSeries:
+    def test_writes_header_and_rows(self, tmp_path):
+        path = export_series(
+            tmp_path / "s.csv", "x", [1, 2], {"a": [0.5, 0.6], "b": [0.1, 0.2]}
+        )
+        rows = read_csv(path)
+        assert rows[0] == ["x", "a", "b"]
+        assert rows[1] == ["1", "0.5", "0.1"]
+        assert rows[2] == ["2", "0.6", "0.2"]
+
+    def test_short_series_padded(self, tmp_path):
+        path = export_series(tmp_path / "s.csv", "x", [1, 2], {"a": [0.5]})
+        rows = read_csv(path)
+        assert rows[2] == ["2", ""]
+
+
+class TestExportRows:
+    def test_writes_dict_rows(self, tmp_path):
+        path = export_rows(
+            tmp_path / "t.csv",
+            [{"scheme": "hdr", "value": 0.123456789}, {"scheme": "src", "value": 1}],
+        )
+        rows = read_csv(path)
+        assert rows[0] == ["scheme", "value"]
+        assert rows[1] == ["hdr", "0.123457"]
+
+    def test_summary_cells_reduced_to_mean(self, tmp_path):
+        path = export_rows(
+            tmp_path / "t.csv",
+            [{"k": Summary(mean=0.5, std=0.1, ci95=0.05, n=3)}],
+        )
+        assert read_csv(path)[1] == ["0.5"]
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_rows(tmp_path / "t.csv", [])
+
+
+class TestExportResult:
+    def test_series_shape(self, tmp_path):
+        result = ExperimentResult(
+            exp_id="E4",
+            title="t",
+            text="",
+            data={
+                "intervals_h": [2.0, 6.0],
+                "series": {"hdr": [0.3, 0.6], "source": [0.1, 0.2]},
+            },
+        )
+        written = export_result(result, tmp_path)
+        assert [p.name for p in written] == ["E4_series.csv"]
+        rows = read_csv(written[0])
+        assert rows[0] == ["intervals_h", "hdr", "source"]
+
+    def test_row_shape(self, tmp_path):
+        result = ExperimentResult(
+            exp_id="E8",
+            title="t",
+            text="",
+            data={"assignment": [{"scheme": "hdr", "freshness": 0.5}]},
+        )
+        written = export_result(result, tmp_path)
+        assert [p.name for p in written] == ["E8_assignment.csv"]
+
+    def test_unrecognised_shapes_skipped(self, tmp_path):
+        result = ExperimentResult(
+            exp_id="E1", title="t", text="", data={"stats": object()}
+        )
+        assert export_result(result, tmp_path) == []
+
+    def test_cli_export_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["run", "E1", "--fast", "--export", str(tmp_path)])
+        assert code == 0  # E1's data shape has no exportable tables; ok
+
+    def test_cli_export_writes_files(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["run", "E4", "--fast", "--export", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "E4_series.csv").exists()

@@ -1,0 +1,83 @@
+"""Tests for the transmission-load distribution metric."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import transmission_load
+from repro.caching.items import DataCatalog
+from repro.core.scheme import build_simulation
+from repro.mobility.calibration import get_profile
+
+DAY = 86400.0
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return get_profile("small").generate(np.random.default_rng(9), duration=2 * DAY)
+
+
+@pytest.fixture(scope="module")
+def catalog(trace):
+    return DataCatalog.uniform(
+        3, sources=[trace.node_ids[0]], refresh_interval=4 * 3600.0
+    )
+
+
+def run(trace, catalog, scheme):
+    runtime = build_simulation(trace, catalog, scheme=scheme,
+                               num_caching_nodes=6, seed=1,
+                               record_transfers=True)
+    runtime.run(until=2 * DAY)
+    return runtime
+
+
+class TestTransmissionLoad:
+    def test_requires_recording(self, trace, catalog):
+        runtime = build_simulation(trace, catalog, scheme="hdr",
+                                   num_caching_nodes=6, seed=1)
+        with pytest.raises(ValueError, match="record_transfers"):
+            transmission_load(runtime)
+
+    def test_counts_refresh_plane_only(self, trace, catalog):
+        runtime = run(trace, catalog, "hdr")
+        load = transmission_load(runtime)
+        assert load.total == runtime.refresh_overhead()
+        assert load.max_load >= load.mean_load
+        assert 0.0 <= load.gini <= 1.0
+
+    def test_source_only_concentrates_load(self, trace, catalog):
+        source_only = transmission_load(run(trace, catalog, "source"))
+        # a single sender does everything: degenerate distribution
+        assert source_only.senders == 1
+        assert source_only.max_load == source_only.total
+
+    def test_hierarchy_spreads_load(self, trace, catalog):
+        hdr = transmission_load(run(trace, catalog, "hdr"))
+        flat = transmission_load(run(trace, catalog, "flat"))
+        assert hdr.senders > 1
+        # the tree's interior carries traffic the flat star leaves at the
+        # source, so the source's share of the total is lower under hdr
+        def source_share(runtime_load, runtime):
+            per_sender = {}
+            for t in runtime.network.transfers:
+                if t.kind.startswith("refresh"):
+                    per_sender[t.sender] = per_sender.get(t.sender, 0) + 1
+            source = runtime.sources[0]
+            return per_sender.get(source, 0) / runtime_load.total
+
+        hdr_runtime = run(trace, catalog, "hdr")
+        flat_runtime = run(trace, catalog, "flat")
+        assert source_share(
+            transmission_load(hdr_runtime), hdr_runtime
+        ) < source_share(transmission_load(flat_runtime), flat_runtime)
+
+    def test_empty_run(self, trace, catalog):
+        runtime = build_simulation(trace, catalog, scheme="none",
+                                   num_caching_nodes=6, seed=1,
+                                   record_transfers=True)
+        runtime.run(until=3600.0)
+        load = transmission_load(runtime)
+        assert load.total == 0
+        assert math.isnan(load.gini)

@@ -1,0 +1,130 @@
+"""Tests for data items, cache entries and the version history."""
+
+import numpy as np
+import pytest
+
+from repro.caching.items import CacheEntry, DataCatalog, DataItem, VersionHistory
+
+
+def item(**overrides) -> DataItem:
+    defaults = dict(
+        item_id=0, source=1, refresh_interval=100.0, lifetime=200.0
+    )
+    defaults.update(overrides)
+    return DataItem(**defaults)
+
+
+class TestDataItem:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            item(refresh_interval=0.0)
+        with pytest.raises(ValueError):
+            item(lifetime=-1.0)
+        with pytest.raises(ValueError):
+            item(freshness_requirement=1.0)
+        with pytest.raises(ValueError):
+            item(freshness_requirement=0.0)
+        with pytest.raises(ValueError):
+            item(size=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            item().item_id = 5
+
+
+class TestCacheEntry:
+    def test_expiry_uses_version_time(self):
+        entry = CacheEntry(item_id=0, version=1, version_time=50.0, cached_at=120.0)
+        data_item = item(lifetime=200.0)
+        assert not entry.expired(249.0, data_item)
+        assert entry.expired(250.0, data_item)
+
+
+class TestVersionHistory:
+    def test_record_and_lookup(self):
+        history = VersionHistory()
+        history.record(0, 1, 10.0)
+        history.record(0, 2, 110.0)
+        assert history.current_version(0, 5.0) == 0
+        assert history.current_version(0, 50.0) == 1
+        assert history.current_version(0, 110.0) == 2
+        assert history.version_time(0, 2) == 110.0
+        assert history.num_versions(0) == 2
+
+    def test_versions_must_be_sequential(self):
+        history = VersionHistory()
+        with pytest.raises(ValueError):
+            history.record(0, 2, 0.0)
+        history.record(0, 1, 0.0)
+        with pytest.raises(ValueError):
+            history.record(0, 1, 1.0)
+
+    def test_time_must_not_regress(self):
+        history = VersionHistory()
+        history.record(0, 1, 100.0)
+        with pytest.raises(ValueError):
+            history.record(0, 2, 50.0)
+
+    def test_version_time_unknown_raises(self):
+        history = VersionHistory()
+        with pytest.raises(KeyError):
+            history.version_time(0, 1)
+
+    def test_is_fresh(self):
+        history = VersionHistory()
+        history.record(0, 1, 0.0)
+        history.record(0, 2, 100.0)
+        assert history.is_fresh(0, 1, 50.0)
+        assert not history.is_fresh(0, 1, 150.0)
+        assert history.is_fresh(0, 2, 150.0)
+        assert not history.is_fresh(0, 0, 50.0)
+
+    def test_independent_items(self):
+        history = VersionHistory()
+        history.record(0, 1, 0.0)
+        history.record(7, 1, 50.0)
+        assert history.num_versions(0) == 1
+        assert history.num_versions(7) == 1
+
+
+class TestDataCatalog:
+    def test_add_and_get(self):
+        catalog = DataCatalog([item()])
+        assert catalog.get(0).source == 1
+        assert 0 in catalog
+        assert len(catalog) == 1
+
+    def test_duplicate_id_rejected(self):
+        catalog = DataCatalog([item()])
+        with pytest.raises(ValueError):
+            catalog.add(item())
+
+    def test_items_of_source(self):
+        catalog = DataCatalog([item(item_id=0, source=1), item(item_id=1, source=2)])
+        assert [i.item_id for i in catalog.items_of_source(1)] == [0]
+
+    def test_uniform_round_robin(self):
+        catalog = DataCatalog.uniform(4, sources=[10, 20], refresh_interval=100.0)
+        assert [catalog.get(k).source for k in range(4)] == [10, 20, 10, 20]
+
+    def test_uniform_default_lifetime(self):
+        catalog = DataCatalog.uniform(1, sources=[1], refresh_interval=100.0)
+        assert catalog.get(0).lifetime == 200.0
+
+    def test_uniform_random_assignment(self):
+        rng = np.random.default_rng(1)
+        catalog = DataCatalog.uniform(
+            50, sources=[1, 2, 3], refresh_interval=10.0, rng=rng
+        )
+        used = {catalog.get(k).source for k in range(50)}
+        assert used == {1, 2, 3}
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            DataCatalog.uniform(0, sources=[1], refresh_interval=10.0)
+        with pytest.raises(ValueError):
+            DataCatalog.uniform(1, sources=[], refresh_interval=10.0)
+
+    def test_item_ids_sorted(self):
+        catalog = DataCatalog([item(item_id=5), item(item_id=2)])
+        assert catalog.item_ids == [2, 5]

@@ -1,0 +1,64 @@
+"""Tests for caching-node (NCL) selection."""
+
+import numpy as np
+import pytest
+
+from repro.caching.ncl import select_caching_nodes
+from repro.contacts.rates import RateTable
+
+
+def hub_rates() -> RateTable:
+    """Node 0 is a clear hub; 1-4 form a weak ring."""
+    table = RateTable()
+    for leaf in (1, 2, 3, 4):
+        table.set(0, leaf, 1.0)
+    table.set(1, 2, 0.01)
+    table.set(3, 4, 0.01)
+    return table
+
+
+class TestSelection:
+    def test_contact_metric_picks_hub_first(self):
+        picked = select_caching_nodes(hub_rates(), k=1, window=10.0)
+        assert picked == [0]
+
+    def test_k_nodes_returned(self):
+        picked = select_caching_nodes(hub_rates(), k=3, window=10.0)
+        assert len(picked) == 3
+        assert len(set(picked)) == 3
+
+    def test_exclude_removes_candidates(self):
+        picked = select_caching_nodes(hub_rates(), k=1, window=10.0, exclude={0})
+        assert picked != [0]
+
+    def test_degree_metric(self):
+        picked = select_caching_nodes(hub_rates(), k=1, metric="degree")
+        assert picked == [0]
+
+    def test_betweenness_metric(self):
+        # path 1-0-2: node 0 bridges
+        table = RateTable({(0, 1): 1.0, (0, 2): 1.0})
+        picked = select_caching_nodes(table, k=1, metric="betweenness")
+        assert picked == [0]
+
+    def test_random_metric_needs_rng(self):
+        with pytest.raises(ValueError):
+            select_caching_nodes(hub_rates(), k=2, metric="random")
+
+    def test_random_metric_selects_k(self):
+        rng = np.random.default_rng(0)
+        picked = select_caching_nodes(hub_rates(), k=3, metric="random", rng=rng)
+        assert len(picked) == 3
+        assert picked == sorted(picked)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            select_caching_nodes(hub_rates(), k=1, metric="nope")
+
+    def test_too_few_candidates(self):
+        with pytest.raises(ValueError):
+            select_caching_nodes(hub_rates(), k=10)
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            select_caching_nodes(hub_rates(), k=0)

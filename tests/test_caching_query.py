@@ -1,0 +1,138 @@
+"""Tests for query dissemination and response delivery."""
+
+import pytest
+
+from repro.caching.items import CacheEntry, DataCatalog, DataItem
+from repro.caching.query import QueryManager
+from repro.caching.store import CacheStore
+from repro.mobility.trace import Contact, ContactTrace
+from repro.routing.epidemic import EpidemicRouting
+from tests.conftest import build_network
+
+
+def make_catalog() -> DataCatalog:
+    return DataCatalog(
+        [DataItem(item_id=0, source=3, refresh_interval=100.0, lifetime=1e6)]
+    )
+
+
+def wire(trace, catalog, holder=None, holder_version=1, hop_limit=4, ttl=1e6):
+    """Wire every node with routing + query manager; ``holder`` caches item 0."""
+    net = build_network(trace)
+    managers = {}
+    for nid, node in net.nodes.items():
+        node.add_handler(EpidemicRouting(kinds=frozenset({"response"})))
+        store = None
+        if nid == holder:
+            store = CacheStore()
+            store.put(
+                CacheEntry(
+                    item_id=0, version=holder_version, version_time=0.0, cached_at=0.0
+                ),
+                0.0,
+            )
+        manager = QueryManager(
+            catalog, store=store, hop_limit=hop_limit, query_ttl=ttl
+        )
+        node.add_handler(manager)
+        managers[nid] = manager
+    net.start()
+    return net, managers
+
+
+class TestQueryFlow:
+    def test_answered_by_caching_node(self, line_trace):
+        net, managers = wire(line_trace, make_catalog(), holder=2)
+        net.sim.run(until=5.0)
+        record = managers[0].issue_query(0)
+        net.sim.run(until=1000.0)
+        assert record.answered
+        assert record.version == 1
+        assert record.served_by == 2
+
+    def test_local_hit_answers_instantly(self, line_trace):
+        net, managers = wire(line_trace, make_catalog(), holder=0)
+        net.sim.run(until=5.0)
+        record = managers[0].issue_query(0)
+        assert record.answered
+        assert record.delay == 0.0
+        assert record.served_by == 0
+
+    def test_unanswerable_query_stays_open(self, line_trace):
+        net, managers = wire(line_trace, make_catalog(), holder=None)
+        net.sim.run(until=5.0)
+        record = managers[0].issue_query(0)
+        net.sim.run(until=1000.0)
+        assert not record.answered
+
+    def test_response_routed_back_multihop(self, line_trace):
+        """Query 0 -> ... -> 3; response 3 -> ... -> 0."""
+        net, managers = wire(line_trace, make_catalog(), holder=3)
+        net.sim.run(until=5.0)
+        record = managers[0].issue_query(0)
+        net.sim.run(until=1000.0)
+        assert record.answered
+        assert record.served_by == 3
+        # took at least a full sweep there and one back
+        assert record.delay > 50.0
+
+    def test_first_answer_wins(self, line_trace):
+        net, managers = wire(line_trace, make_catalog(), holder=1)
+        # node 2 also holds a newer version
+        store2 = CacheStore()
+        store2.put(CacheEntry(item_id=0, version=5, version_time=0.0, cached_at=0.0), 0.0)
+        managers[2].store = store2
+        managers[2].providers.append(managers[2]._store_provider)
+        net.sim.run(until=5.0)
+        record = managers[0].issue_query(0)
+        net.sim.run(until=1000.0)
+        assert record.served_by == 1  # closer node answers first
+
+    def test_hop_limit_bounds_flood(self):
+        # star around node 1: 0-1, then 1 meets 2, 2 meets 3 (holder)
+        contacts = [
+            Contact.make(0, 1, 10.0, 15.0),
+            Contact.make(1, 2, 20.0, 25.0),
+            Contact.make(2, 3, 30.0, 35.0),
+        ]
+        trace = ContactTrace(contacts, node_ids=[0, 1, 2, 3])
+        net, managers = wire(trace, make_catalog(), holder=3, hop_limit=1)
+        net.sim.run(until=5.0)
+        record = managers[0].issue_query(0)
+        net.sim.run(until=1000.0)
+        # flood stops at node 1 (hop 1); holder never sees the query
+        assert not record.answered
+
+    def test_query_ttl_stops_forwarding(self, line_trace):
+        net, managers = wire(line_trace, make_catalog(), holder=3, ttl=15.0)
+        net.sim.run(until=5.0)
+        record = managers[0].issue_query(0)
+        net.sim.run(until=1000.0)
+        assert not record.answered
+
+    def test_unknown_item_raises(self, line_trace):
+        net, managers = wire(line_trace, make_catalog())
+        net.start()
+        with pytest.raises(KeyError):
+            managers[0].issue_query(99)
+
+
+class TestProviders:
+    def test_source_provider_priority(self, line_trace):
+        catalog = make_catalog()
+        net, managers = wire(line_trace, catalog, holder=1, holder_version=3)
+        # node 1 also gets an authoritative provider with a newer version
+        managers[1].add_provider(lambda item_id: (7, 0.0))
+        net.sim.run(until=5.0)
+        record = managers[0].issue_query(0)
+        net.sim.run(until=1000.0)
+        assert record.version == 7
+
+    def test_stats_counters(self, line_trace):
+        net, managers = wire(line_trace, make_catalog(), holder=2)
+        net.sim.run(until=5.0)
+        managers[0].issue_query(0)
+        net.sim.run(until=1000.0)
+        assert managers[0].stats.counter_value("query.issued") == 1
+        assert managers[0].stats.counter_value("query.completed") == 1
+        assert managers[2].stats.counter_value("query.answered") == 1

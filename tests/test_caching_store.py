@@ -1,0 +1,141 @@
+"""Tests for the cache store and eviction policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caching.items import CacheEntry, DataItem
+from repro.caching.store import CacheStore, EvictionPolicy
+
+
+def entry(item_id=0, version=1, version_time=0.0, cached_at=0.0):
+    return CacheEntry(
+        item_id=item_id, version=version, version_time=version_time, cached_at=cached_at
+    )
+
+
+class TestPut:
+    def test_insert_and_lookup(self):
+        store = CacheStore()
+        assert store.put(entry(), now=0.0)
+        found = store.lookup(0, now=5.0)
+        assert found is not None
+        assert found.access_count == 1
+        assert found.last_access == 5.0
+
+    def test_peek_does_not_count_access(self):
+        store = CacheStore()
+        store.put(entry(), now=0.0)
+        store.peek(0)
+        assert store.peek(0).access_count == 0
+
+    def test_newer_version_replaces(self):
+        store = CacheStore()
+        store.put(entry(version=1), now=0.0)
+        assert store.put(entry(version=2, version_time=10.0, cached_at=10.0), now=10.0)
+        assert store.peek(0).version == 2
+
+    def test_stale_version_rejected(self):
+        store = CacheStore()
+        store.put(entry(version=2), now=0.0)
+        assert not store.put(entry(version=2), now=1.0)
+        assert not store.put(entry(version=1), now=1.0)
+
+    def test_refresh_preserves_access_stats(self):
+        store = CacheStore()
+        store.put(entry(version=1), now=0.0)
+        store.lookup(0, now=1.0)
+        store.lookup(0, now=2.0)
+        store.put(entry(version=2), now=3.0)
+        assert store.peek(0).access_count == 2
+        assert store.peek(0).last_access == 2.0
+
+    def test_contains_and_ids(self):
+        store = CacheStore()
+        store.put(entry(item_id=3), now=0.0)
+        store.put(entry(item_id=1), now=0.0)
+        assert 3 in store
+        assert store.item_ids() == [1, 3]
+        assert len(store) == 2
+
+
+class TestEviction:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            CacheStore(capacity=0)
+
+    def test_lru_evicts_least_recently_used(self):
+        store = CacheStore(capacity=2, policy=EvictionPolicy.LRU)
+        store.put(entry(item_id=0), now=0.0)
+        store.put(entry(item_id=1), now=0.0)
+        store.lookup(0, now=5.0)  # 0 is now fresher than 1
+        store.put(entry(item_id=2), now=6.0)
+        assert 1 not in store
+        assert 0 in store and 2 in store
+        assert store.evictions == 1
+
+    def test_fifo_evicts_oldest_insert(self):
+        store = CacheStore(capacity=2, policy=EvictionPolicy.FIFO)
+        store.put(entry(item_id=0, cached_at=0.0), now=0.0)
+        store.put(entry(item_id=1, cached_at=1.0), now=1.0)
+        store.lookup(0, now=5.0)  # access does not matter for FIFO
+        store.put(entry(item_id=2, cached_at=6.0), now=6.0)
+        assert 0 not in store
+
+    def test_lfu_evicts_least_frequent(self):
+        store = CacheStore(capacity=2, policy=EvictionPolicy.LFU)
+        store.put(entry(item_id=0), now=0.0)
+        store.put(entry(item_id=1), now=0.0)
+        store.lookup(1, now=1.0)
+        store.put(entry(item_id=2), now=2.0)
+        assert 0 not in store
+
+    def test_version_upgrade_never_evicts(self):
+        store = CacheStore(capacity=2)
+        store.put(entry(item_id=0), now=0.0)
+        store.put(entry(item_id=1), now=0.0)
+        store.put(entry(item_id=0, version=2), now=1.0)
+        assert len(store) == 2
+        assert store.evictions == 0
+
+
+class TestDropExpired:
+    def test_drops_only_expired(self):
+        data_item = DataItem(item_id=0, source=9, refresh_interval=10.0, lifetime=100.0)
+        other = DataItem(item_id=1, source=9, refresh_interval=10.0, lifetime=1000.0)
+        store = CacheStore()
+        store.put(entry(item_id=0, version_time=0.0), now=0.0)
+        store.put(entry(item_id=1, version_time=0.0), now=0.0)
+        dropped = store.drop_expired(now=150.0, items={0: data_item, 1: other})
+        assert dropped == 1
+        assert 0 not in store
+        assert 1 in store
+
+
+class TestStoreProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),   # item id
+                st.integers(min_value=1, max_value=10),  # version
+            ),
+            max_size=60,
+        ),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_never_exceeded_and_versions_monotone(self, ops, capacity):
+        store = CacheStore(capacity=capacity)
+        highest: dict[int, int] = {}
+        for tick, (item_id, version) in enumerate(ops):
+            store.put(
+                entry(item_id=item_id, version=version, cached_at=float(tick)),
+                now=float(tick),
+            )
+            current = store.peek(item_id)
+            if current is not None:
+                previous = highest.get(item_id, 0)
+                if previous:
+                    assert current.version >= min(previous, version)
+                highest[item_id] = max(previous, current.version)
+            assert len(store) <= capacity

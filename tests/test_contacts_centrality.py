@@ -1,0 +1,78 @@
+"""Tests for contact-based centrality metrics."""
+
+import math
+
+import pytest
+
+from repro.contacts.centrality import (
+    betweenness_centrality,
+    contact_centrality,
+    degree_centrality,
+    rank_nodes,
+)
+from repro.contacts.graph import contact_graph
+from repro.contacts.rates import RateTable
+
+
+def star_rates(center=0, leaves=(1, 2, 3), rate=0.1):
+    table = RateTable()
+    for leaf in leaves:
+        table.set(center, leaf, rate)
+    return table
+
+
+class TestContactCentrality:
+    def test_center_of_star_wins(self):
+        scores = contact_centrality(star_rates(), window=10.0)
+        assert scores[0] > scores[1]
+
+    def test_saturates_per_neighbor(self):
+        """One very fast friend is worth at most 1; two slower friends more."""
+        one_fast = RateTable({(0, 1): 100.0})
+        two_slow = RateTable({(0, 1): 0.2, (0, 2): 0.2})
+        fast_score = contact_centrality(one_fast, window=10.0)[0]
+        slow_score = contact_centrality(two_slow, window=10.0)[0]
+        assert fast_score <= 1.0
+        assert slow_score > fast_score
+
+    def test_formula(self):
+        table = RateTable({(0, 1): 0.1})
+        scores = contact_centrality(table, window=10.0)
+        assert scores[0] == pytest.approx(1 - math.exp(-1.0))
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            contact_centrality(RateTable(), window=0.0)
+
+    def test_explicit_node_ids(self):
+        scores = contact_centrality(star_rates(), window=1.0, node_ids=[0, 1])
+        assert set(scores) == {0, 1}
+
+
+class TestDegreeCentrality:
+    def test_sums_rates(self):
+        scores = degree_centrality(star_rates(rate=0.1))
+        assert scores[0] == pytest.approx(0.3)
+        assert scores[1] == pytest.approx(0.1)
+
+
+class TestBetweenness:
+    def test_bridge_node_scores_highest(self):
+        # two cliques joined through node 4
+        table = RateTable()
+        for a, b in [(0, 1), (0, 2), (1, 2), (5, 6), (5, 7), (6, 7)]:
+            table.set(a, b, 1.0)
+        table.set(2, 4, 1.0)
+        table.set(4, 5, 1.0)
+        scores = betweenness_centrality(contact_graph(table))
+        assert scores[4] == max(scores.values())
+
+
+class TestRankNodes:
+    def test_descending_with_id_tiebreak(self):
+        scores = {3: 1.0, 1: 2.0, 2: 1.0}
+        assert rank_nodes(scores) == [1, 2, 3]
+
+    def test_top_k(self):
+        scores = {0: 3.0, 1: 2.0, 2: 1.0}
+        assert rank_nodes(scores, top=2) == [0, 1]

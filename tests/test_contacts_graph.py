@@ -1,0 +1,52 @@
+"""Tests for the aggregated contact graph."""
+
+import pytest
+
+from repro.contacts.graph import contact_graph, largest_component
+from repro.contacts.rates import RateTable
+from repro.mobility.trace import Contact, ContactTrace
+
+
+class TestContactGraphFromRates:
+    def test_edges_with_attributes(self):
+        table = RateTable({(0, 1): 0.5})
+        graph = contact_graph(table)
+        assert graph.has_edge(0, 1)
+        assert graph[0][1]["rate"] == 0.5
+        assert graph[0][1]["delay"] == 2.0
+
+    def test_zero_rate_pairs_excluded(self):
+        table = RateTable({(0, 1): 0.0, (1, 2): 0.5})
+        graph = contact_graph(table)
+        assert not graph.has_edge(0, 1)
+        assert graph.has_edge(1, 2)
+
+
+class TestContactGraphFromTrace:
+    def test_counts_and_rates(self, tiny_trace):
+        graph = contact_graph(tiny_trace)
+        assert graph.has_edge(0, 1)
+        assert graph[0][1]["count"] == 2
+        assert graph[0][1]["rate"] > 0
+        assert set(graph.nodes) == {0, 1, 2, 3}
+
+    def test_isolated_nodes_kept(self):
+        trace = ContactTrace(
+            [Contact.make(0, 1, 0.0, 1.0)], node_ids=[0, 1, 2]
+        )
+        graph = contact_graph(trace)
+        assert 2 in graph.nodes
+        assert graph.degree[2] == 0
+
+
+class TestLargestComponent:
+    def test_picks_biggest(self):
+        table = RateTable({(0, 1): 1.0, (1, 2): 1.0, (5, 6): 1.0})
+        graph = contact_graph(table)
+        biggest = largest_component(graph)
+        assert set(biggest.nodes) == {0, 1, 2}
+
+    def test_empty_graph(self):
+        import networkx as nx
+
+        assert largest_component(nx.Graph()).number_of_nodes() == 0

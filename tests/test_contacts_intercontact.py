@@ -1,0 +1,117 @@
+"""Tests for inter-contact distribution analysis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contacts.intercontact import (
+    aggregate_intercontact_samples,
+    ccdf,
+    exponential_tail_quantiles,
+    fit_exponential,
+    ks_distance,
+)
+from repro.mobility.trace import Contact, ContactTrace
+
+
+class TestCcdf:
+    def test_values(self):
+        x, p = ccdf([1.0, 2.0, 3.0, 4.0])
+        assert list(x) == [1.0, 2.0, 3.0, 4.0]
+        assert list(p) == pytest.approx([0.75, 0.5, 0.25, 0.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ccdf([])
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_nonincreasing(self, samples):
+        x, p = ccdf(samples)
+        assert (np.diff(p) <= 1e-12).all()
+        assert (np.diff(x) >= 0).all()
+
+
+class TestFitExponential:
+    def test_mle_is_inverse_mean(self):
+        assert fit_exponential([1.0, 3.0]) == 0.5
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            fit_exponential([])
+        with pytest.raises(ValueError):
+            fit_exponential([-1.0])
+        with pytest.raises(ValueError):
+            fit_exponential([0.0, 0.0])
+
+    def test_recovers_rate(self, rng):
+        samples = rng.exponential(scale=4.0, size=20000)
+        assert fit_exponential(samples) == pytest.approx(0.25, rel=0.05)
+
+
+class TestKsDistance:
+    def test_exponential_samples_fit_well(self, rng):
+        samples = rng.exponential(scale=1.0, size=5000)
+        assert ks_distance(samples, 1.0) < 0.03
+
+    def test_wrong_rate_fits_poorly(self, rng):
+        samples = rng.exponential(scale=1.0, size=5000)
+        assert ks_distance(samples, 10.0) > 0.3
+
+    def test_uniform_samples_fit_poorly(self, rng):
+        samples = rng.uniform(0.9, 1.1, size=5000)
+        assert ks_distance(samples, 1.0) > 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ks_distance([1.0], 0.0)
+        with pytest.raises(ValueError):
+            ks_distance([], 1.0)
+
+    def test_bounded_by_one(self, rng):
+        samples = rng.exponential(scale=1.0, size=100)
+        assert 0.0 <= ks_distance(samples, 0.001) <= 1.0
+
+
+class TestAggregation:
+    def make_trace(self):
+        contacts = []
+        # pair (0,1): gaps of 10; pair (2,3): gaps of 100
+        for k in range(5):
+            contacts.append(Contact.make(0, 1, k * 11.0, k * 11.0 + 1.0))
+            contacts.append(Contact.make(2, 3, k * 101.0, k * 101.0 + 1.0))
+        return ContactTrace(contacts)
+
+    def test_pooled_raw(self):
+        samples = aggregate_intercontact_samples(self.make_trace())
+        assert len(samples) == 8
+        assert sorted(set(samples)) == [10.0, 100.0]
+
+    def test_normalised_removes_heterogeneity(self):
+        samples = aggregate_intercontact_samples(self.make_trace(), normalise=True)
+        assert np.allclose(samples, 1.0)
+
+    def test_min_gaps_filter(self):
+        trace = ContactTrace(
+            [
+                Contact.make(0, 1, 0.0, 1.0),
+                Contact.make(0, 1, 10.0, 11.0),  # one gap only
+            ]
+        )
+        assert len(aggregate_intercontact_samples(trace, min_gaps_per_pair=2)) == 0
+        assert len(aggregate_intercontact_samples(trace, min_gaps_per_pair=1)) == 1
+
+
+class TestTailQuantiles:
+    def test_values(self):
+        [q] = exponential_tail_quantiles(1.0, [math.exp(-2.0)])
+        assert q == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exponential_tail_quantiles(0.0, [0.5])
+        with pytest.raises(ValueError):
+            exponential_tail_quantiles(1.0, [1.5])

@@ -1,0 +1,73 @@
+"""Tests for the tree renderer and the runtime description."""
+
+import numpy as np
+
+from repro.caching.items import DataCatalog
+from repro.core.hierarchy import RefreshTree
+from repro.core.scheme import build_simulation
+from repro.mobility.calibration import get_profile
+
+
+class TestRender:
+    def test_root_only(self):
+        assert RefreshTree(root=7).render() == "7"
+
+    def test_structure_and_indentation(self):
+        tree = RefreshTree(root=0)
+        tree.attach(1, 0)
+        tree.attach(2, 0)
+        tree.attach(3, 1)
+        text = tree.render()
+        lines = text.splitlines()
+        assert lines[0] == "0"
+        assert lines[1] == "|- 1"
+        assert lines[2] == "|  `- 3"
+        assert lines[3] == "`- 2"
+
+    def test_every_node_rendered_once(self):
+        tree = RefreshTree(root=0)
+        for child, parent in [(1, 0), (2, 0), (3, 1), (4, 1), (5, 2)]:
+            tree.attach(child, parent)
+        text = tree.render()
+        for node in tree.nodes:
+            assert sum(
+                1 for line in text.splitlines() if line.endswith(str(node))
+            ) == 1
+
+    def test_labels(self):
+        tree = RefreshTree(root=0)
+        tree.attach(1, 0)
+        text = tree.render(label={0: "source", 1: "cache-1"})
+        assert "source" in text
+        assert "cache-1" in text
+
+
+class TestDescribe:
+    def test_describe_mentions_everything(self):
+        trace = get_profile("small").generate(
+            np.random.default_rng(7), duration=43200.0
+        )
+        catalog = DataCatalog.uniform(
+            2, sources=[trace.node_ids[0]], refresh_interval=4 * 3600.0
+        )
+        runtime = build_simulation(trace, catalog, scheme="hdr",
+                                   num_caching_nodes=4, seed=1)
+        text = runtime.describe()
+        assert "scheme 'hdr'" in text
+        assert "caching:" in text
+        assert "item 0" in text
+        assert "item 1" in text
+        assert "tree depth" in text
+
+    def test_describe_flooding_has_no_trees(self):
+        trace = get_profile("small").generate(
+            np.random.default_rng(7), duration=43200.0
+        )
+        catalog = DataCatalog.uniform(
+            1, sources=[trace.node_ids[0]], refresh_interval=4 * 3600.0
+        )
+        runtime = build_simulation(trace, catalog, scheme="flooding",
+                                   num_caching_nodes=4, seed=1)
+        text = runtime.describe()
+        assert "flood" in text
+        assert "item 0: tree" not in text

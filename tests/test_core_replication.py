@@ -1,0 +1,225 @@
+"""Tests for the probabilistic replication analysis (closed forms)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.replication import (
+    contact_probability,
+    decompose_requirement,
+    expected_fresh_fraction,
+    plan_edge,
+    required_direct_rate,
+    two_hop_probability,
+)
+
+rates = st.floats(min_value=1e-6, max_value=10.0, allow_nan=False)
+windows = st.floats(min_value=1e-3, max_value=1e4, allow_nan=False)
+
+
+class TestContactProbability:
+    def test_known_value(self):
+        assert contact_probability(1.0, 1.0) == pytest.approx(1 - math.exp(-1))
+
+    def test_zero_rate(self):
+        assert contact_probability(0.0, 100.0) == 0.0
+
+    def test_zero_window(self):
+        assert contact_probability(5.0, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            contact_probability(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            contact_probability(1.0, -1.0)
+
+    @given(rates, rates, windows)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_rate_and_window(self, r1, r2, w):
+        lo, hi = sorted((r1, r2))
+        assert contact_probability(lo, w) <= contact_probability(hi, w) + 1e-12
+        assert 0.0 <= contact_probability(r1, w) <= 1.0
+
+
+class TestTwoHopProbability:
+    def test_equal_rates_closed_form(self):
+        lam, window = 2.0, 1.5
+        x = lam * window
+        expected = 1 - math.exp(-x) * (1 + x)
+        assert two_hop_probability(lam, lam, window) == pytest.approx(expected)
+
+    def test_matches_monte_carlo(self, rng):
+        r1, r2, window = 0.8, 0.3, 2.0
+        samples = rng.exponential(1 / r1, 200_000) + rng.exponential(1 / r2, 200_000)
+        empirical = (samples <= window).mean()
+        assert two_hop_probability(r1, r2, window) == pytest.approx(empirical, abs=0.005)
+
+    def test_zero_leg_never_delivers(self):
+        assert two_hop_probability(0.0, 5.0, 100.0) == 0.0
+        assert two_hop_probability(5.0, 0.0, 100.0) == 0.0
+
+    def test_symmetric_in_legs(self):
+        assert two_hop_probability(0.5, 2.0, 3.0) == pytest.approx(
+            two_hop_probability(2.0, 0.5, 3.0)
+        )
+
+    def test_slower_than_single_hop(self):
+        """Two sequential meetings take longer than the slower one alone."""
+        assert two_hop_probability(1.0, 1.0, 2.0) < contact_probability(1.0, 2.0)
+
+    def test_near_equal_rates_continuous(self):
+        base = two_hop_probability(1.0, 1.0, 2.0)
+        near = two_hop_probability(1.0, 1.0 + 1e-10, 2.0)
+        assert near == pytest.approx(base, abs=1e-6)
+
+    @given(rates, rates, windows)
+    @settings(max_examples=100, deadline=None)
+    def test_is_probability(self, r1, r2, w):
+        p = two_hop_probability(r1, r2, w)
+        assert 0.0 <= p <= 1.0
+
+    @given(rates, rates, rates, windows)
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_first_leg(self, r1a, r1b, r2, w):
+        lo, hi = sorted((r1a, r1b))
+        assert two_hop_probability(lo, r2, w) <= two_hop_probability(hi, r2, w) + 1e-9
+
+
+class TestDecomposeRequirement:
+    def test_depth_one_identity(self):
+        assert decompose_requirement(0.9, 1) == 0.9
+
+    def test_product_recovers_requirement(self):
+        per_hop = decompose_requirement(0.9, 3)
+        assert per_hop**3 == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            decompose_requirement(1.0, 2)
+        with pytest.raises(ValueError):
+            decompose_requirement(0.5, 0)
+
+    @given(st.floats(min_value=0.01, max_value=0.99), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=100, deadline=None)
+    def test_per_hop_exceeds_end_to_end(self, p, d):
+        assert decompose_requirement(p, d) >= p - 1e-12
+
+
+class TestRequiredDirectRate:
+    def test_inverts_contact_probability(self):
+        rate = required_direct_rate(0.9, 100.0)
+        assert contact_probability(rate, 100.0) == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_direct_rate(0.0, 1.0)
+        with pytest.raises(ValueError):
+            required_direct_rate(0.5, 0.0)
+
+
+class TestExpectedFreshFraction:
+    def test_zero_rate(self):
+        assert expected_fresh_fraction(0.0, 100.0) == 0.0
+
+    def test_fast_refresher_approaches_one(self):
+        assert expected_fresh_fraction(100.0, 100.0) > 0.99
+
+    def test_matches_simulation(self, rng):
+        """Renewal simulation of the fresh/stale cycle."""
+        rate, interval = 0.02, 100.0
+        fresh_time = 0.0
+        cycles = 20000
+        delays = rng.exponential(1 / rate, cycles)
+        fresh_time = np.clip(interval - delays, 0.0, None).sum()
+        assert expected_fresh_fraction(rate, interval) == pytest.approx(
+            fresh_time / (cycles * interval), abs=0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_fresh_fraction(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            expected_fresh_fraction(1.0, 0.0)
+
+
+class TestPlanEdge:
+    def candidates(self, count=10, up=0.5, down=0.5):
+        return [(100 + k, up, down) for k in range(count)]
+
+    def test_strong_direct_needs_no_relays(self):
+        plan = plan_edge(0, 1, direct_rate=10.0, relay_candidates=self.candidates(),
+                         window=10.0, target=0.9)
+        assert plan.num_relays == 0
+        assert plan.meets_target
+
+    def test_weak_direct_recruits_until_target(self):
+        plan = plan_edge(0, 1, direct_rate=0.001,
+                         relay_candidates=self.candidates(up=2.0, down=2.0),
+                         window=1.0, target=0.9)
+        assert plan.num_relays > 0
+        assert plan.meets_target
+        assert plan.achieved >= 0.9
+
+    def test_budget_caps_relays(self):
+        plan = plan_edge(0, 1, direct_rate=0.0, relay_candidates=self.candidates(up=0.1, down=0.1),
+                         window=1.0, target=0.99, max_relays=2)
+        assert plan.num_relays == 2
+        assert not plan.meets_target
+
+    def test_achieved_combines_miss_probabilities(self):
+        plan = plan_edge(0, 1, direct_rate=0.5, relay_candidates=self.candidates(count=2),
+                         window=1.0, target=0.999, max_relays=8)
+        miss = 1.0 - plan.direct_probability
+        for p in plan.relay_probabilities:
+            miss *= 1.0 - p
+        assert plan.achieved == pytest.approx(1.0 - miss)
+
+    def test_best_relays_first(self):
+        candidates = [(10, 0.1, 0.1), (11, 5.0, 5.0), (12, 1.0, 1.0)]
+        plan = plan_edge(0, 1, direct_rate=0.0, relay_candidates=candidates,
+                         window=1.0, target=0.999999, max_relays=3)
+        assert plan.relays[0] == 11
+        assert plan.relay_probabilities == sorted(plan.relay_probabilities, reverse=True)
+
+    def test_endpoints_excluded_as_relays(self):
+        candidates = [(0, 9.0, 9.0), (1, 9.0, 9.0), (2, 1.0, 1.0)]
+        plan = plan_edge(0, 1, direct_rate=0.0, relay_candidates=candidates,
+                         window=1.0, target=0.9999, max_relays=5)
+        assert 0 not in plan.relays
+        assert 1 not in plan.relays
+
+    def test_zero_quality_relays_skipped(self):
+        candidates = [(10, 0.0, 5.0), (11, 5.0, 0.0)]
+        plan = plan_edge(0, 1, direct_rate=0.1, relay_candidates=candidates,
+                         window=1.0, target=0.9)
+        assert plan.num_relays == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_edge(0, 1, 1.0, [], window=1.0, target=0.9, max_relays=-1)
+        with pytest.raises(ValueError):
+            plan_edge(0, 1, 1.0, [], window=1.0, target=1.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=2.0),
+        st.floats(min_value=0.05, max_value=0.95),
+        st.integers(min_value=0, max_value=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotonicity_properties(self, direct_rate, target, budget):
+        candidates = [(100 + k, 0.3, 0.3) for k in range(10)]
+        plan = plan_edge(0, 1, direct_rate, candidates, window=1.0,
+                         target=target, max_relays=budget)
+        assert plan.num_relays <= budget
+        assert plan.achieved >= plan.direct_probability - 1e-12
+        # a bigger budget never achieves less
+        bigger = plan_edge(0, 1, direct_rate, candidates, window=1.0,
+                           target=target, max_relays=budget + 2)
+        assert bigger.achieved >= plan.achieved - 1e-12
+        # a higher target never recruits fewer relays
+        higher = plan_edge(0, 1, direct_rate, candidates, window=1.0,
+                           target=min(0.99, target + 0.04), max_relays=budget)
+        assert higher.num_relays >= plan.num_relays

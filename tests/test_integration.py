@@ -1,0 +1,154 @@
+"""End-to-end integration tests: full simulations, cross-scheme ordering,
+determinism, and the analytical-guarantee sanity check."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import freshness_summary, judge_queries, refresh_outcomes
+from repro.caching.items import DataCatalog
+from repro.core.scheme import build_simulation
+from repro.mobility.calibration import get_profile
+from repro.workloads.queries import schedule_queries
+
+DAY = 86400.0
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return get_profile("small").generate(np.random.default_rng(7), duration=2 * DAY)
+
+
+@pytest.fixture(scope="module")
+def catalog(trace):
+    return DataCatalog.uniform(
+        num_items=4, sources=[trace.node_ids[0]], refresh_interval=4 * 3600.0
+    )
+
+
+def run_scheme(trace, catalog, scheme, seed=1, with_queries=False):
+    runtime = build_simulation(
+        trace, catalog, scheme=scheme, num_caching_nodes=5, seed=seed,
+        with_queries=with_queries,
+    )
+    runtime.install_freshness_probe(interval=1800.0, until=2 * DAY)
+    if with_queries:
+        schedule_queries(
+            runtime, rate_per_node=3 / DAY, duration=2 * DAY,
+            rng=np.random.default_rng(99),
+        )
+    runtime.run(until=2 * DAY)
+    return runtime
+
+
+@pytest.fixture(scope="module")
+def all_runtimes(trace, catalog):
+    return {
+        name: run_scheme(trace, catalog, name, with_queries=True)
+        for name in ("hdr", "flooding", "flat", "random", "source", "none")
+    }
+
+
+def freshness_of(runtime):
+    return freshness_summary(runtime, t0=0.1 * 2 * DAY).freshness
+
+
+class TestSchemeOrdering:
+    """The paper's headline comparisons, asserted as ordering invariants."""
+
+    def test_flooding_is_freshness_ceiling(self, all_runtimes):
+        top = freshness_of(all_runtimes["flooding"])
+        for name in ("hdr", "flat", "random", "source", "none"):
+            assert top >= freshness_of(all_runtimes[name]) - 0.02
+
+    def test_hdr_beats_source_only(self, all_runtimes):
+        assert freshness_of(all_runtimes["hdr"]) > freshness_of(
+            all_runtimes["source"]
+        ) + 0.05
+
+    def test_hdr_beats_no_refresh(self, all_runtimes):
+        assert freshness_of(all_runtimes["hdr"]) > freshness_of(all_runtimes["none"])
+
+    def test_rate_aware_beats_random_assignment(self, all_runtimes):
+        assert freshness_of(all_runtimes["hdr"]) >= freshness_of(
+            all_runtimes["random"]
+        ) - 0.02
+
+    def test_flooding_costs_most_messages(self, all_runtimes):
+        flood = all_runtimes["flooding"].refresh_overhead()
+        for name in ("hdr", "flat", "random", "source", "none"):
+            assert flood > all_runtimes[name].refresh_overhead()
+
+    def test_hdr_much_cheaper_than_flooding(self, all_runtimes):
+        assert (
+            all_runtimes["hdr"].refresh_overhead()
+            < 0.7 * all_runtimes["flooding"].refresh_overhead()
+        )
+
+    def test_source_only_minimum_active_overhead(self, all_runtimes):
+        source = all_runtimes["source"].refresh_overhead()
+        for name in ("hdr", "flat", "random", "flooding"):
+            assert source <= all_runtimes[name].refresh_overhead()
+
+
+class TestQueryPlane:
+    def test_queries_get_answered(self, all_runtimes, catalog):
+        runtime = all_runtimes["hdr"]
+        outcomes = judge_queries(runtime.query_records(), runtime.history, catalog)
+        assert outcomes.issued > 20
+        assert outcomes.answer_ratio > 0.5
+
+    def test_better_refresh_means_fresher_answers(self, all_runtimes, catalog):
+        def fresh_ratio(name):
+            runtime = all_runtimes[name]
+            return judge_queries(
+                runtime.query_records(), runtime.history, catalog
+            ).fresh_ratio
+
+        assert fresh_ratio("flooding") > fresh_ratio("source")
+        assert fresh_ratio("hdr") > fresh_ratio("none") if not np.isnan(
+            fresh_ratio("none")
+        ) else True
+
+
+class TestRefreshOutcomes:
+    def test_on_time_ordering(self, all_runtimes, catalog):
+        def on_time(name):
+            runtime = all_runtimes[name]
+            return refresh_outcomes(
+                runtime.update_log, runtime.history, catalog,
+                runtime.caching_nodes, horizon=2 * DAY,
+                messages=runtime.refresh_overhead(),
+            ).on_time_ratio
+
+        assert on_time("flooding") >= on_time("hdr") - 0.02
+        assert on_time("hdr") > on_time("source")
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self, trace, catalog):
+        a = run_scheme(trace, catalog, "hdr", seed=3)
+        b = run_scheme(trace, catalog, "hdr", seed=3)
+        assert a.refresh_overhead() == b.refresh_overhead()
+        assert len(a.update_log) == len(b.update_log)
+        for ua, ub in zip(a.update_log, b.update_log):
+            assert (ua.item_id, ua.node, ua.version, ua.updated_at) == (
+                ub.item_id, ub.node, ub.version, ub.updated_at
+            )
+        series_a = a.stats.series("probe.freshness").values
+        series_b = b.stats.series("probe.freshness").values
+        assert series_a == series_b
+
+
+class TestBandwidthLimitedIntegration:
+    def test_tight_links_reduce_freshness(self, trace, catalog):
+        from repro.sim.network import BandwidthLimitedLink
+
+        unlimited = run_scheme(trace, catalog, "flooding")
+        tight = build_simulation(
+            trace, catalog, scheme="flooding", num_caching_nodes=5, seed=1,
+            link_model=BandwidthLimitedLink(bandwidth_bps=8.0),  # ~1 B/s
+        )
+        tight.install_freshness_probe(interval=1800.0, until=2 * DAY)
+        tight.run(until=2 * DAY)
+        assert freshness_of(tight) < freshness_of(unlimited)
+        assert tight.stats.counter_value("net.transfer_rejected_bandwidth") > 0

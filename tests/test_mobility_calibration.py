@@ -1,0 +1,58 @@
+"""Tests for the calibrated trace profiles."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.calibration import get_profile, list_profiles
+
+
+class TestProfiles:
+    def test_list_profiles(self):
+        names = list_profiles()
+        assert "reality" in names
+        assert "infocom06" in names
+        assert "small" in names
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError, match="unknown profile"):
+            get_profile("nope")
+
+    def test_node_counts_match_published(self):
+        assert get_profile("reality").num_nodes == 97
+        assert get_profile("infocom06").num_nodes == 78
+
+    def test_small_generates_quickly(self, rng):
+        trace = get_profile("small").generate(rng, duration=86400.0)
+        assert trace.num_nodes <= 20
+        assert len(trace) > 100
+        assert trace.name == "small"
+
+    def test_custom_duration_respected(self, rng):
+        trace = get_profile("small").generate(rng, duration=3600.0 * 6)
+        assert trace.end_time <= 6 * 3600.0
+
+    def test_reality_is_sparser_than_infocom(self):
+        """Contacts per node per day: conference >> campus."""
+        day = 86400.0
+        reality = get_profile("reality").generate(
+            np.random.default_rng(1), duration=3 * day
+        )
+        infocom = get_profile("infocom06").generate(
+            np.random.default_rng(1), duration=3 * day
+        )
+        reality_rate = 2 * len(reality) / reality.num_nodes / 3
+        infocom_rate = 2 * len(infocom) / infocom.num_nodes / 3
+        assert infocom_rate > 2 * reality_rate
+
+    def test_diurnal_cycle_present(self, rng):
+        """Night hours (0-5) carry far fewer contacts than day (9-17)."""
+        trace = get_profile("small").generate(rng, duration=4 * 86400.0)
+        night = sum(1 for c in trace if (int(c.start // 3600) % 24) < 6)
+        day = sum(1 for c in trace if 9 <= (int(c.start // 3600) % 24) < 18)
+        assert day > 5 * max(night, 1)
+
+    def test_deterministic_given_seed(self):
+        a = get_profile("small").generate(np.random.default_rng(3), duration=86400.0)
+        b = get_profile("small").generate(np.random.default_rng(3), duration=86400.0)
+        assert len(a) == len(b)
+        assert all(x.pair == y.pair and x.start == y.start for x, y in zip(a, b))

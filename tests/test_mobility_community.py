@@ -1,0 +1,79 @@
+"""Tests for community and diurnal contact models."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.community import DEFAULT_ACTIVITY, CommunityModel, DiurnalModel
+from repro.mobility.synthetic import homogeneous_rate_matrix
+
+
+class TestCommunityModel:
+    def test_generates_trace(self, rng):
+        model = CommunityModel(
+            n=20, num_communities=2, intra_rate=1e-3, inter_rate=1e-5, rng=rng
+        )
+        trace = model.generate(20000.0, rng)
+        assert len(trace) > 0
+        assert trace.num_nodes <= 20
+
+    def test_membership_accessible(self, rng):
+        model = CommunityModel(
+            n=10, num_communities=3, intra_rate=1e-3, inter_rate=1e-5, rng=rng
+        )
+        communities = {model.community_of(i) for i in range(10)}
+        assert communities <= {0, 1, 2}
+
+    def test_intra_contacts_dominate(self, rng):
+        model = CommunityModel(
+            n=30, num_communities=3, intra_rate=1e-3, inter_rate=1e-6,
+            rng=rng, hub_fraction=0.0,
+        )
+        trace = model.generate(50000.0, rng)
+        intra = sum(
+            1 for c in trace if model.community_of(c.a) == model.community_of(c.b)
+        )
+        assert intra / len(trace) > 0.9
+
+    def test_mean_duration_exposed(self, rng):
+        model = CommunityModel(
+            n=5, num_communities=1, intra_rate=1e-3, inter_rate=1e-5,
+            rng=rng, mean_duration=42.0,
+        )
+        assert model.mean_duration == 42.0
+
+
+class TestDiurnalModel:
+    def test_activity_profile_validated(self):
+        with pytest.raises(ValueError):
+            DiurnalModel(homogeneous_rate_matrix(3, 1e-3), activity=[0.5] * 10)
+        with pytest.raises(ValueError):
+            DiurnalModel(homogeneous_rate_matrix(3, 1e-3), activity=[1.5] * 24)
+
+    def test_activity_at_wraps_daily(self):
+        model = DiurnalModel(homogeneous_rate_matrix(3, 1e-3))
+        assert model.activity_at(0.0) == DEFAULT_ACTIVITY[0]
+        assert model.activity_at(9.5 * 3600) == DEFAULT_ACTIVITY[9]
+        assert model.activity_at(86400.0 + 9.5 * 3600) == DEFAULT_ACTIVITY[9]
+
+    def test_thinning_reduces_contacts(self, rng):
+        rates = homogeneous_rate_matrix(10, 2e-4)
+        flat = DiurnalModel(rates, activity=[1.0] * 24)
+        thinned = DiurnalModel(rates, activity=[0.2] * 24)
+        n_flat = len(flat.generate(200000.0, np.random.default_rng(1)))
+        n_thinned = len(thinned.generate(200000.0, np.random.default_rng(1)))
+        assert n_thinned < n_flat
+        assert n_thinned / n_flat == pytest.approx(0.2, rel=0.25)
+
+    def test_night_contacts_suppressed(self, rng):
+        """With a hard day-only profile, no contact starts at night."""
+        activity = [0.0] * 8 + [1.0] * 12 + [0.0] * 4
+        model = DiurnalModel(homogeneous_rate_matrix(8, 5e-4), activity=activity)
+        trace = model.generate(5 * 86400.0, rng)
+        assert len(trace) > 0
+        for c in trace:
+            hour = int(c.start // 3600) % 24
+            assert 8 <= hour < 20
+
+    def test_effective_mean_activity(self):
+        model = DiurnalModel(homogeneous_rate_matrix(3, 1e-3), activity=[0.5] * 24)
+        assert model.effective_mean_activity() == 0.5

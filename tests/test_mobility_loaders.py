@@ -1,0 +1,109 @@
+"""Tests for trace file loaders and writers."""
+
+import io
+
+import pytest
+
+from repro.mobility.loaders import (
+    load_one_report,
+    load_pairwise,
+    loads_pairwise,
+    write_pairwise,
+)
+from repro.mobility.trace import Contact, ContactTrace
+
+
+class TestPairwiseFormat:
+    def test_basic_parse(self):
+        trace = loads_pairwise("0 1 10.0 20.0\n2 3 5 8\n")
+        assert len(trace) == 2
+        assert trace[0].pair == (2, 3)
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\n0 1 1 2  # trailing comment\n"
+        trace = loads_pairwise(text)
+        assert len(trace) == 1
+
+    def test_malformed_line_raises_with_lineno(self):
+        with pytest.raises(ValueError, match="line 2"):
+            loads_pairwise("0 1 1 2\n0 1 1\n")
+
+    def test_time_scale(self):
+        trace = load_pairwise(io.StringIO("0 1 1 2\n"), time_scale=3600.0)
+        assert trace[0].start == 3600.0
+        assert trace[0].end == 7200.0
+
+    def test_roundtrip(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_pairwise(tiny_trace, path)
+        loaded = load_pairwise(path)
+        assert len(loaded) == len(tiny_trace)
+        for original, reloaded in zip(tiny_trace, loaded):
+            assert original.pair == reloaded.pair
+            assert reloaded.start == pytest.approx(original.start, abs=1e-3)
+
+    def test_write_to_handle(self, tiny_trace):
+        buffer = io.StringIO()
+        write_pairwise(tiny_trace, buffer)
+        assert "tiny" in buffer.getvalue()
+
+    def test_load_from_path(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("0 1 0 5\n")
+        trace = load_pairwise(path)
+        assert trace.name == str(path)
+        assert len(trace) == 1
+
+
+class TestOneReportFormat:
+    def test_up_down_pairs(self):
+        text = "10.0 CONN 0 1 up\n20.0 CONN 0 1 down\n"
+        trace = load_one_report(io.StringIO(text))
+        assert len(trace) == 1
+        assert trace[0].start == 10.0
+        assert trace[0].end == 20.0
+
+    def test_unclosed_up_closed_at_last_event(self):
+        text = "10.0 CONN 0 1 up\n50.0 CONN 2 3 up\n60.0 CONN 2 3 down\n"
+        trace = load_one_report(io.StringIO(text))
+        pairs = trace.pair_contacts()
+        assert pairs[(0, 1)][0].end == 60.0
+
+    def test_prefixed_node_names(self):
+        text = "1.0 CONN n5 n7 up\n2.0 CONN n5 n7 down\n"
+        trace = load_one_report(io.StringIO(text))
+        assert trace[0].pair == (5, 7)
+
+    def test_reversed_pair_matches(self):
+        text = "1.0 CONN 7 2 up\n3.0 CONN 2 7 down\n"
+        trace = load_one_report(io.StringIO(text))
+        assert len(trace) == 1
+
+    def test_bad_state_raises(self):
+        with pytest.raises(ValueError, match="unknown state"):
+            load_one_report(io.StringIO("1.0 CONN 0 1 sideways\n"))
+
+    def test_bad_format_raises(self):
+        with pytest.raises(ValueError, match="expected"):
+            load_one_report(io.StringIO("1.0 PING 0 1 up\n"))
+
+    def test_non_numeric_node_raises(self):
+        with pytest.raises(ValueError, match="no numeric id"):
+            load_one_report(io.StringIO("1.0 CONN abc def up\n"))
+
+    def test_comments_ignored(self):
+        text = "# ONE report\n1.0 CONN 0 1 up\n2.0 CONN 0 1 down\n"
+        assert len(load_one_report(io.StringIO(text))) == 1
+
+
+class TestRoundtripProperty:
+    def test_generated_trace_roundtrips(self, rng, tmp_path):
+        from repro.mobility.synthetic import PoissonContactModel, homogeneous_rate_matrix
+
+        model = PoissonContactModel(homogeneous_rate_matrix(6, 0.005))
+        trace = model.generate(5000.0, rng)
+        path = tmp_path / "gen.txt"
+        write_pairwise(trace, path)
+        loaded = load_pairwise(path)
+        assert len(loaded) == len(trace)
+        assert loaded.node_ids == trace.node_ids

@@ -1,0 +1,58 @@
+"""Tests for the random-waypoint spatial model."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.rwp import RandomWaypointModel
+
+
+class TestRandomWaypoint:
+    def test_positions_stay_in_area(self, rng):
+        model = RandomWaypointModel(n=5, area=100.0, sample_interval=5.0, pause_max=0.0)
+        positions = model.positions(500.0, rng)
+        assert positions.shape == (101, 5, 2)
+        assert (positions >= 0).all()
+        assert (positions <= 100.0).all()
+
+    def test_speed_respected(self, rng):
+        model = RandomWaypointModel(
+            n=3, area=1000.0, speed_min=1.0, speed_max=2.0,
+            sample_interval=10.0, pause_max=0.0,
+        )
+        positions = model.positions(1000.0, rng)
+        steps = np.linalg.norm(np.diff(positions, axis=0), axis=2)
+        # max displacement per 10 s sample is speed_max * dt (plus tiny slack)
+        assert steps.max() <= 2.0 * 10.0 + 1e-6
+
+    def test_contacts_from_proximity(self, rng):
+        model = RandomWaypointModel(
+            n=10, area=200.0, radio_range=50.0, sample_interval=10.0
+        )
+        trace = model.generate(2000.0, rng)
+        assert len(trace) > 0
+        for c in trace:
+            assert c.duration >= model.sample_interval - 1e-9
+
+    def test_denser_area_more_contacts(self):
+        sparse = RandomWaypointModel(n=8, area=2000.0, radio_range=30.0)
+        dense = RandomWaypointModel(n=8, area=200.0, radio_range=30.0)
+        n_sparse = len(sparse.generate(3000.0, np.random.default_rng(1)))
+        n_dense = len(dense.generate(3000.0, np.random.default_rng(1)))
+        assert n_dense > n_sparse
+
+    def test_open_contacts_closed_at_horizon(self, rng):
+        model = RandomWaypointModel(n=6, area=50.0, radio_range=100.0)
+        trace = model.generate(100.0, rng)
+        # everyone is always in range: one contact per pair spanning the run
+        assert len(trace) == 15
+        assert all(c.end <= 100.0 for c in trace)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWaypointModel(n=1)
+        with pytest.raises(ValueError):
+            RandomWaypointModel(n=3, speed_min=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypointModel(n=3, speed_min=3.0, speed_max=2.0)
+        with pytest.raises(ValueError):
+            RandomWaypointModel(n=3, radio_range=0.0)

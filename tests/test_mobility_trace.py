@@ -1,0 +1,254 @@
+"""Unit and property tests for the contact-trace data model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.trace import Contact, ContactTrace
+
+
+class TestContact:
+    def test_make_normalises_pair_order(self):
+        contact = Contact.make(5, 2, 0.0, 1.0)
+        assert (contact.a, contact.b) == (2, 5)
+
+    def test_self_contact_rejected(self):
+        with pytest.raises(ValueError):
+            Contact.make(1, 1, 0.0, 1.0)
+
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Contact.make(0, 1, 5.0, 4.0)
+
+    def test_duration_and_pair(self):
+        contact = Contact.make(0, 1, 2.0, 7.0)
+        assert contact.duration == 5.0
+        assert contact.pair == (0, 1)
+
+    def test_peer_of(self):
+        contact = Contact.make(0, 1, 0.0, 1.0)
+        assert contact.peer_of(0) == 1
+        assert contact.peer_of(1) == 0
+        with pytest.raises(ValueError):
+            contact.peer_of(9)
+
+    def test_involves(self):
+        contact = Contact.make(3, 7, 0.0, 1.0)
+        assert contact.involves(3)
+        assert contact.involves(7)
+        assert not contact.involves(5)
+
+    def test_ordering_is_by_start(self):
+        early = Contact.make(0, 1, 1.0, 2.0)
+        late = Contact.make(0, 1, 3.0, 4.0)
+        assert early < late
+
+
+class TestContactTrace:
+    def test_sorted_on_construction(self):
+        trace = ContactTrace(
+            [Contact.make(0, 1, 50.0, 60.0), Contact.make(0, 1, 10.0, 20.0)]
+        )
+        assert [c.start for c in trace] == [10.0, 50.0]
+
+    def test_node_ids_inferred(self):
+        trace = ContactTrace([Contact.make(4, 9, 0.0, 1.0)])
+        assert trace.node_ids == (4, 9)
+
+    def test_explicit_node_ids_validated(self):
+        with pytest.raises(ValueError):
+            ContactTrace([Contact.make(0, 5, 0.0, 1.0)], node_ids=[0, 1])
+
+    def test_overlapping_contacts_merged(self):
+        trace = ContactTrace(
+            [
+                Contact.make(0, 1, 0.0, 10.0),
+                Contact.make(0, 1, 5.0, 15.0),
+                Contact.make(0, 1, 20.0, 25.0),
+            ]
+        )
+        assert len(trace) == 2
+        assert trace[0].end == 15.0
+
+    def test_merge_keeps_distinct_pairs_apart(self):
+        trace = ContactTrace(
+            [Contact.make(0, 1, 0.0, 10.0), Contact.make(0, 2, 5.0, 15.0)]
+        )
+        assert len(trace) == 2
+
+    def test_merge_can_be_disabled(self):
+        trace = ContactTrace(
+            [Contact.make(0, 1, 0.0, 10.0), Contact.make(0, 1, 5.0, 15.0)],
+            merge_overlaps=False,
+        )
+        assert len(trace) == 2
+
+    def test_span_properties(self, tiny_trace):
+        assert tiny_trace.start_time == 10.0
+        assert tiny_trace.end_time == 95.0
+        assert tiny_trace.duration == 85.0
+        assert tiny_trace.num_nodes == 4
+
+    def test_empty_trace(self):
+        trace = ContactTrace([])
+        assert len(trace) == 0
+        assert trace.duration == 0.0
+
+    def test_pair_contacts_grouping(self, tiny_trace):
+        pairs = tiny_trace.pair_contacts()
+        assert len(pairs[(0, 1)]) == 2
+        assert len(pairs[(1, 2)]) == 1
+
+    def test_contacts_of(self, tiny_trace):
+        involving_0 = tiny_trace.contacts_of(0)
+        assert len(involving_0) == 3
+        assert all(c.involves(0) for c in involving_0)
+
+    def test_window_clips(self, tiny_trace):
+        windowed = tiny_trace.window(15.0, 35.0)
+        assert all(15.0 <= c.start and c.end <= 35.0 for c in windowed)
+        # contact (0,1,10,20) clipped to (15,20); (1,2,30,40) to (30,35)
+        assert len(windowed) == 2
+
+    def test_window_without_clip_keeps_overlapping(self, tiny_trace):
+        windowed = tiny_trace.window(15.0, 35.0, clip=False)
+        assert any(c.start == 10.0 for c in windowed)
+
+    def test_window_invalid(self, tiny_trace):
+        with pytest.raises(ValueError):
+            tiny_trace.window(10.0, 5.0)
+
+    def test_subset(self, tiny_trace):
+        sub = tiny_trace.subset([0, 1, 2])
+        assert all(c.a in {0, 1, 2} and c.b in {0, 1, 2} for c in sub)
+        assert len(sub) == 4  # the (2,3) contact is dropped
+
+    def test_shifted(self, tiny_trace):
+        moved = tiny_trace.shifted(100.0)
+        assert moved.start_time == tiny_trace.start_time + 100.0
+        assert len(moved) == len(tiny_trace)
+
+    def test_inter_contact_times(self):
+        trace = ContactTrace(
+            [
+                Contact.make(0, 1, 0.0, 10.0),
+                Contact.make(0, 1, 30.0, 40.0),
+                Contact.make(0, 1, 100.0, 110.0),
+            ]
+        )
+        gaps = trace.inter_contact_times()
+        assert gaps[(0, 1)] == [20.0, 60.0]
+
+    def test_stats(self):
+        trace = ContactTrace(
+            [
+                Contact.make(0, 1, 0.0, 10.0),
+                Contact.make(0, 1, 30.0, 40.0),
+                Contact.make(2, 3, 5.0, 15.0),
+            ]
+        )
+        stats = trace.stats()
+        assert stats.num_nodes == 4
+        assert stats.num_contacts == 3
+        assert stats.num_pairs_with_contact == 2
+        assert stats.mean_contacts_per_pair == 1.5
+        assert stats.mean_contact_duration == 10.0
+        assert stats.mean_inter_contact == 20.0
+        assert stats.median_inter_contact == 20.0
+
+    def test_stats_no_gaps(self):
+        trace = ContactTrace([Contact.make(0, 1, 0.0, 1.0)])
+        assert math.isnan(trace.stats().mean_inter_contact)
+
+    def test_stats_as_row_units(self):
+        trace = ContactTrace(
+            [Contact.make(0, 1, 0.0, 3600.0), Contact.make(0, 1, 7200.0, 10800.0)]
+        )
+        row = trace.stats().as_row()
+        assert row["mean_intercontact_h"] == pytest.approx(1.0)
+        assert row["duration_days"] == pytest.approx(10800.0 / 86400.0)
+
+
+@st.composite
+def contact_lists(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    count = draw(st.integers(min_value=1, max_value=40))
+    contacts = []
+    for _ in range(count):
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1).filter(lambda x: x != a))
+        start = draw(st.floats(min_value=0, max_value=1e4, allow_nan=False))
+        length = draw(st.floats(min_value=0.001, max_value=100, allow_nan=False))
+        contacts.append(Contact.make(a, b, start, start + length))
+    return contacts
+
+
+class TestTraceProperties:
+    @given(contact_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_invariants(self, contacts):
+        trace = ContactTrace(contacts)
+        # sorted
+        starts = [c.start for c in trace]
+        assert starts == sorted(starts)
+        # normalised pairs, positive durations
+        for c in trace:
+            assert c.a < c.b
+            assert c.end >= c.start
+        # merged: no overlapping contacts of the same pair
+        for pair, pair_contacts in trace.pair_contacts().items():
+            for prev, nxt in zip(pair_contacts, pair_contacts[1:]):
+                assert nxt.start > prev.end
+
+    @given(contact_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_merge_preserves_covered_time(self, contacts):
+        """Merging must preserve each pair's total covered time."""
+
+        def covered(intervals):
+            total = 0.0
+            for start, end in sorted(intervals):
+                total += end - start
+            return total
+
+        by_pair: dict = {}
+        for c in contacts:
+            by_pair.setdefault(c.pair, []).append((c.start, c.end))
+
+        def union_length(intervals):
+            intervals = sorted(intervals)
+            total = 0.0
+            current_start, current_end = intervals[0]
+            for start, end in intervals[1:]:
+                if start <= current_end:
+                    current_end = max(current_end, end)
+                else:
+                    total += current_end - current_start
+                    current_start, current_end = start, end
+            total += current_end - current_start
+            return total
+
+        trace = ContactTrace(contacts)
+        merged_by_pair: dict = {}
+        for c in trace:
+            merged_by_pair.setdefault(c.pair, []).append((c.start, c.end))
+        for pair, intervals in by_pair.items():
+            assert covered(merged_by_pair[pair]) == pytest.approx(
+                union_length(intervals)
+            )
+
+    @given(contact_lists(), st.floats(min_value=-100, max_value=100, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_preserves_structure(self, contacts, offset):
+        trace = ContactTrace(contacts)
+        moved = trace.shifted(offset)
+        assert len(moved) == len(trace)
+        # Adding the offset can absorb sub-epsilon start differences and
+        # reorder ties, so compare as multisets keyed by pair.
+        before_sorted = sorted(trace, key=lambda c: (c.pair, c.start))
+        after_sorted = sorted(moved, key=lambda c: (c.pair, c.start))
+        for before, after in zip(before_sorted, after_sorted):
+            assert after.pair == before.pair
+            assert after.start == pytest.approx(before.start + offset, abs=1e-6)

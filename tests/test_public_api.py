@@ -1,0 +1,67 @@
+"""Public API surface checks: everything advertised is importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.mobility",
+    "repro.contacts",
+    "repro.routing",
+    "repro.caching",
+    "repro.core",
+    "repro.baselines",
+    "repro.workloads",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", [])
+    assert exported, f"{package_name} does not declare __all__"
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_baseline_configs_are_registered_schemes():
+    from repro.baselines import (
+        COMPARISON_ORDER,
+        FLAT_REPLICATION,
+        FLOODING,
+        INVALIDATION,
+        NO_REFRESH,
+        RANDOM_ASSIGNMENT,
+        SOURCE_ONLY,
+    )
+    from repro.core.scheme import SCHEMES
+
+    for config in (SOURCE_ONLY, FLOODING, FLAT_REPLICATION, RANDOM_ASSIGNMENT,
+                   NO_REFRESH, INVALIDATION):
+        assert SCHEMES[config.name] is config
+    assert set(COMPARISON_ORDER) <= set(SCHEMES)
+
+
+def test_every_public_module_has_docstring():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        assert package.__doc__, f"{package_name} lacks a module docstring"
+
+
+def test_every_public_callable_has_docstring():
+    import repro
+
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if callable(obj):
+            assert obj.__doc__, f"repro.{name} lacks a docstring"

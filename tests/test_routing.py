@@ -1,0 +1,223 @@
+"""Tests for the DTN routing policies.
+
+The line trace (0-1, 1-2, 2-3 repeating every 100 s) lets multi-hop
+policies carry a message from node 0 to node 3 within one sweep, while
+direct delivery must wait for a 0-3 contact that never comes.
+"""
+
+import pytest
+
+from repro.mobility.trace import Contact, ContactTrace
+from repro.routing.base import RoutingAgent
+from repro.routing.direct import DirectDelivery
+from repro.routing.epidemic import EpidemicRouting
+from repro.routing.prophet import ProphetRouting
+from repro.routing.spraywait import SprayAndWait
+from repro.sim.messages import Message
+from tests.conftest import build_network
+
+
+def install(net, agent_class, **kwargs):
+    agents = {}
+    for nid, node in net.nodes.items():
+        agents[nid] = node.add_handler(agent_class(**kwargs))
+    net.start()
+    return agents
+
+
+def originate(net, agents, src, dst, at, kind="data"):
+    message = Message(kind=kind, src=src, dst=dst, created_at=at)
+    net.sim.run(until=at)
+    agents[src].originate(message)
+    return message
+
+
+class TestDirectDelivery:
+    def test_delivers_on_direct_contact(self, line_trace, network_factory):
+        net = network_factory(line_trace)
+        agents = install(net, DirectDelivery)
+        originate(net, agents, 0, 1, at=5.0)
+        net.sim.run(until=100.0)
+        assert len(agents[1].deliveries) == 1
+
+    def test_never_relays(self, line_trace, network_factory):
+        net = network_factory(line_trace)
+        agents = install(net, DirectDelivery)
+        originate(net, agents, 0, 3, at=5.0)
+        net.sim.run(until=1000.0)
+        assert len(agents[3].deliveries) == 0
+        # message still sits in 0's buffer
+        assert len(agents[0].buffer) == 1
+
+    def test_local_copy_dropped_after_delivery(self, line_trace, network_factory):
+        net = network_factory(line_trace)
+        agents = install(net, DirectDelivery)
+        originate(net, agents, 0, 1, at=5.0)
+        net.sim.run(until=100.0)
+        assert len(agents[0].buffer) == 0
+
+
+class TestEpidemicRouting:
+    def test_multi_hop_delivery(self, line_trace, network_factory):
+        net = network_factory(line_trace)
+        agents = install(net, EpidemicRouting)
+        originate(net, agents, 0, 3, at=5.0)
+        net.sim.run(until=100.0)
+        assert len(agents[3].deliveries) == 1
+        # delivered within the first sweep: 0->1 at 10, 1->2 at 30, 2->3 at 50
+        assert agents[3].deliveries[0].delivered_at == pytest.approx(50.0)
+
+    def test_no_reinfection(self, line_trace, network_factory):
+        net = network_factory(line_trace)
+        agents = install(net, EpidemicRouting)
+        originate(net, agents, 0, 3, at=5.0)
+        net.sim.run(until=1000.0)
+        # exactly one delivery despite repeated contacts
+        assert len(agents[3].deliveries) == 1
+
+    def test_hop_limit_respected(self, line_trace, network_factory):
+        net = network_factory(line_trace)
+        agents = install(net, EpidemicRouting)
+        message = Message(kind="data", src=0, dst=3, created_at=5.0, hops_left=1)
+        net.sim.run(until=5.0)
+        agents[0].originate(message)
+        net.sim.run(until=1000.0)
+        # one hop reaches node 1 only; node 3 needs three hops
+        assert len(agents[3].deliveries) == 0
+
+    def test_ttl_expiry_stops_spread(self, line_trace, network_factory):
+        net = network_factory(line_trace)
+        agents = install(net, EpidemicRouting)
+        message = Message(kind="data", src=0, dst=3, created_at=5.0, ttl=30.0)
+        net.sim.run(until=5.0)
+        agents[0].originate(message)
+        net.sim.run(until=1000.0)
+        # reaches node 1 (t=10) and node 2 (t=30) but expires before 2->3 at t=50
+        assert len(agents[3].deliveries) == 0
+
+
+class TestSprayAndWait:
+    def test_copy_budget_limits_spread(self):
+        # star: node 0 meets 1..4 in sequence, then 5 (the destination) never
+        contacts = [Contact.make(0, peer, 10.0 * peer, 10.0 * peer + 5) for peer in (1, 2, 3, 4)]
+        trace = ContactTrace(contacts, node_ids=[0, 1, 2, 3, 4, 5])
+        net = build_network(trace)
+        agents = install(net, SprayAndWait, initial_copies=4)
+        originate(net, agents, 0, 5, at=5.0)
+        net.sim.run(until=100.0)
+        carriers = [nid for nid, agent in agents.items() if agent.buffer]
+        # binary spray with 4 tokens: 0 gives 2 to node 1, 1 to node 2, done
+        assert 1 in carriers and 2 in carriers
+        assert 3 not in carriers and 4 not in carriers
+
+    def test_wait_phase_direct_delivery(self, line_trace, network_factory):
+        net = network_factory(line_trace)
+        agents = install(net, SprayAndWait, initial_copies=2)
+        originate(net, agents, 0, 2, at=5.0)
+        net.sim.run(until=1000.0)
+        # node 1 gets the single sprayed copy and later meets node 2
+        assert len(agents[2].deliveries) == 1
+
+    def test_token_conservation(self, line_trace, network_factory):
+        net = network_factory(line_trace)
+        agents = install(net, SprayAndWait, initial_copies=8)
+        message = originate(net, agents, 0, 3, at=5.0)
+        net.sim.run(until=45.0)
+        total = 0
+        for agent in agents.values():
+            held = agent.buffer.get(message.msg_id)
+            if held is not None:
+                total += held.payload["sw_tokens"]
+        assert total == 8
+
+    def test_invalid_copies(self):
+        with pytest.raises(ValueError):
+            SprayAndWait(initial_copies=0)
+
+
+class TestProphet:
+    def test_direct_encounter_raises_predictability(self, line_trace, network_factory):
+        net = network_factory(line_trace)
+        agents = install(net, ProphetRouting)
+        net.sim.run(until=25.0)
+        assert agents[0].predictability_to(1) >= 0.75
+        assert agents[1].predictability_to(0) >= 0.75
+
+    def test_transitivity(self, line_trace, network_factory):
+        net = network_factory(line_trace)
+        agents = install(net, ProphetRouting)
+        net.sim.run(until=45.0)
+        # 1 met 0, then 2 met 1 -> 2 learns about 0 transitively
+        assert agents[2].predictability_to(0) > 0.0
+
+    def test_aging_decays(self, line_trace, network_factory):
+        net = network_factory(line_trace, )
+        agents = install(net, ProphetRouting, aging_unit=10.0, gamma=0.5)
+        net.sim.run(until=25.0)
+        after_contact = agents[0].predictability_to(1)
+        net.sim.run(until=85.0)
+        agents[0]._age()
+        assert agents[0].predictability_to(1) < after_contact
+
+    def test_routes_along_gradient(self, line_trace, network_factory):
+        net = network_factory(line_trace)
+        agents = install(net, ProphetRouting)
+        # warm up predictabilities over one sweep, then send in the second
+        net.sim.run(until=100.0)
+        originate(net, agents, 0, 3, at=105.0)
+        net.sim.run(until=1000.0)
+        assert len(agents[3].deliveries) == 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ProphetRouting(p_init=0.0)
+        with pytest.raises(ValueError):
+            ProphetRouting(gamma=1.5)
+        with pytest.raises(ValueError):
+            ProphetRouting(beta=-0.1)
+
+
+class TestRoutingAgentBase:
+    def test_originate_to_self_delivers_immediately(self, line_trace, network_factory):
+        net = network_factory(line_trace)
+        agents = install(net, EpidemicRouting)
+        message = Message(kind="data", src=0, dst=0, created_at=0.0)
+        agents[0].originate(message)
+        assert len(agents[0].deliveries) == 1
+
+    def test_delivery_callback(self, line_trace, network_factory):
+        net = network_factory(line_trace)
+        agents = install(net, EpidemicRouting)
+        received = []
+        agents[1].on_delivery("data", received.append)
+        originate(net, agents, 0, 1, at=5.0)
+        net.sim.run(until=100.0)
+        assert len(received) == 1
+
+    def test_buffer_capacity_evicts_oldest(self, line_trace, network_factory):
+        net = network_factory(line_trace)
+        agents = install(net, EpidemicRouting, buffer_capacity=2)
+        agent = agents[0]
+        for k in range(3):
+            agent.originate(Message(kind="data", src=0, dst=3, created_at=float(k)))
+        assert len(agent.buffer) == 2
+        oldest_left = min(m.created_at for m in agent.buffer.values())
+        assert oldest_left == 1.0
+
+    def test_delay_statistics_recorded(self, line_trace, network_factory):
+        net = network_factory(line_trace)
+        agents = install(net, EpidemicRouting)
+        originate(net, agents, 0, 1, at=5.0)
+        net.sim.run(until=100.0)
+        assert agents[1].stats.tally("routing.delay.data").count == 1
+        assert agents[1].stats.tally("routing.delay.data").mean == pytest.approx(5.0)
+
+    def test_kinds_filter(self, line_trace, network_factory):
+        net = network_factory(line_trace)
+        agent = RoutingAgentStub(kinds=frozenset({"only"}))
+        assert agent.handled_kinds == frozenset({"only"})
+
+
+class RoutingAgentStub(RoutingAgent):
+    def should_forward(self, message, peer):
+        return False

@@ -1,0 +1,96 @@
+"""Tests for delegation forwarding."""
+
+import pytest
+
+from repro.contacts.rates import RateTable
+from repro.routing.delegation import DelegationForwarding
+from repro.sim.messages import Message
+from tests.conftest import build_network
+from repro.mobility.trace import Contact, ContactTrace
+
+
+def star_trace():
+    """Node 0 meets 1, 2, 3 in turn; node 3 then meets the destination 4."""
+    contacts = [
+        Contact.make(0, 1, 10.0, 15.0),
+        Contact.make(0, 2, 20.0, 25.0),
+        Contact.make(0, 3, 30.0, 35.0),
+        Contact.make(3, 4, 40.0, 45.0),
+    ]
+    return ContactTrace(contacts, node_ids=[0, 1, 2, 3, 4])
+
+
+def wire(trace, rates):
+    net = build_network(trace)
+    agents = {
+        nid: node.add_handler(DelegationForwarding(rates=rates))
+        for nid, node in net.nodes.items()
+    }
+    net.start()
+    return net, agents
+
+
+class TestDelegation:
+    def test_copies_climb_the_gradient(self):
+        # qualities to destination 4: node0=0.1, node1=0.05, node2=0.2, node3=0.5
+        rates = RateTable({(0, 4): 0.1, (1, 4): 0.05, (2, 4): 0.2, (3, 4): 0.5})
+        net, agents = wire(star_trace(), rates)
+        net.sim.run(until=5.0)
+        agents[0].originate(Message(kind="data", src=0, dst=4, created_at=5.0))
+        net.sim.run(until=100.0)
+        # node 1 (worse than 0) never got a copy; 2 and 3 did; 3 delivered
+        assert not agents[1].seen
+        assert agents[2].seen
+        assert len(agents[4].deliveries) == 1
+
+    def test_threshold_ratchets_up(self):
+        rates = RateTable({(0, 4): 0.1, (1, 4): 0.15, (2, 4): 0.12, (3, 4): 0.5})
+        net, agents = wire(star_trace(), rates)
+        net.sim.run(until=5.0)
+        message = Message(kind="data", src=0, dst=4, created_at=5.0)
+        agents[0].originate(message)
+        net.sim.run(until=28.0)
+        # after delegating to node 1 (0.15), node 2 (0.12) no longer qualifies
+        assert agents[1].seen
+        assert not agents[2].seen
+        assert message.payload["dg_threshold"] == pytest.approx(0.15)
+
+    def test_destination_always_qualifies(self):
+        rates = RateTable({(0, 1): 100.0})  # nothing known about dst rates
+        trace = ContactTrace([Contact.make(0, 4, 10.0, 15.0)], node_ids=[0, 4])
+        net, agents = wire(trace, rates)
+        net.sim.run(until=5.0)
+        agents[0].originate(Message(kind="data", src=0, dst=4, created_at=5.0))
+        net.sim.run(until=100.0)
+        assert len(agents[4].deliveries) == 1
+
+    def test_online_estimator_preferred_over_table(self):
+        from repro.contacts.rates import ContactRateEstimator
+
+        trace = ContactTrace(
+            [
+                Contact.make(1, 4, 5.0, 6.0),     # node 1 knows node 4
+                Contact.make(0, 1, 10.0, 15.0),
+                Contact.make(1, 4, 20.0, 25.0),
+            ],
+            node_ids=[0, 1, 4],
+        )
+        net = build_network(trace)
+        agents = {}
+        for nid, node in net.nodes.items():
+            node.add_handler(ContactRateEstimator())
+            agents[nid] = node.add_handler(DelegationForwarding())
+        net.start()
+        net.sim.run(until=8.0)
+        agents[0].originate(Message(kind="data", src=0, dst=4, created_at=8.0))
+        net.sim.run(until=100.0)
+        # node 1's online estimator says it meets 4; node 0 knows nothing
+        assert len(agents[4].deliveries) == 1
+
+    def test_no_knowledge_no_spread(self):
+        net, agents = wire(star_trace(), rates=None)
+        net.sim.run(until=5.0)
+        agents[0].originate(Message(kind="data", src=0, dst=4, created_at=5.0))
+        net.sim.run(until=38.0)
+        # zero quality everywhere: nothing beats the threshold, no relays
+        assert not agents[1].seen and not agents[2].seen and not agents[3].seen

@@ -1,0 +1,189 @@
+"""Unit and property tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(5.0, order.append, "b")
+        sim.schedule_at(1.0, order.append, "a")
+        sim.schedule_at(9.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+
+    def test_ties_broken_by_priority_then_insertion(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(1.0, order.append, "late", priority=10)
+        sim.schedule_at(1.0, order.append, "first", priority=0)
+        sim.schedule_at(1.0, order.append, "second", priority=0)
+        sim.run()
+        assert order == ["first", "second", "late"]
+
+    def test_schedule_after_is_relative(self):
+        sim = Simulator(start_time=100.0)
+        seen = []
+        sim.schedule_after(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [105.0]
+
+    def test_scheduling_in_past_raises(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(9.999, lambda: None)
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-1.0, lambda: None)
+
+    def test_scheduling_at_now_runs_after_current(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule_at(sim.now, order.append, "nested")
+
+        sim.schedule_at(1.0, first)
+        sim.schedule_at(1.0, order.append, "second")
+        sim.run()
+        assert order == ["first", "second", "nested"]
+
+
+class TestRun:
+    def test_until_is_inclusive(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.0, seen.append, "at")
+        sim.schedule_at(5.0001, seen.append, "after")
+        sim.run(until=5.0)
+        assert seen == ["at"]
+
+    def test_clock_reaches_until_even_when_drained(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_run_resumes(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.0, seen.append, 1)
+        sim.schedule_at(10.0, seen.append, 10)
+        sim.run(until=5.0)
+        assert seen == [1]
+        sim.run(until=20.0)
+        assert seen == [1, 10]
+
+    def test_max_events(self):
+        sim = Simulator()
+        seen = []
+        for t in range(5):
+            sim.schedule_at(float(t), seen.append, t)
+        sim.run(max_events=2)
+        assert seen == [0, 1]
+
+    def test_events_executed_counts_only_run_events(self):
+        sim = Simulator()
+        event = sim.schedule_at(1.0, lambda: None)
+        event.cancel()
+        sim.schedule_at(2.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 1
+
+    def test_reentrant_run_raises(self):
+        sim = Simulator()
+
+        def reenter():
+            sim.run()
+
+        sim.schedule_at(1.0, reenter)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestCancelStepPeek:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule_at(1.0, seen.append, "cancelled")
+        sim.schedule_at(2.0, seen.append, "kept")
+        event.cancel()
+        sim.run()
+        assert seen == ["kept"]
+
+    def test_step_runs_single_event(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.0, seen.append, "a")
+        sim.schedule_at(2.0, seen.append, "b")
+        assert sim.step() is True
+        assert seen == ["a"]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        event.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_peek_empty(self):
+        assert Simulator().peek_time() is None
+
+
+class TestEventOrderingProperty:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+                st.integers(min_value=-5, max_value=5),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pops_in_sorted_order(self, specs):
+        sim = Simulator()
+        executed = []
+
+        def record(time, priority, index):
+            executed.append((time, priority, index))
+
+        for index, (time, priority) in enumerate(specs):
+            sim.schedule_at(time, record, time, priority, index, priority=priority)
+        sim.run()
+        assert executed == sorted(executed)
+        assert len(executed) == len(specs)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_clock_never_goes_backwards(self, times):
+        sim = Simulator()
+        observed = []
+        for t in times:
+            sim.schedule_at(t, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+
+
+class TestEventDataclass:
+    def test_event_comparison_ignores_callback(self):
+        a = Event(1.0, 0, 0, lambda: None)
+        b = Event(1.0, 0, 1, print)
+        assert a < b

@@ -1,0 +1,51 @@
+"""Tests for the message data model."""
+
+from repro.sim.messages import Message, reset_message_ids
+
+
+class TestMessage:
+    def test_unique_ids(self):
+        a = Message(kind="x", src=1, dst=2, created_at=0.0)
+        b = Message(kind="x", src=1, dst=2, created_at=0.0)
+        assert a.msg_id != b.msg_id
+
+    def test_copy_shares_msg_id_new_copy_id(self):
+        original = Message(kind="x", src=1, dst=2, created_at=0.0, payload={"k": 1})
+        duplicate = original.copy()
+        assert duplicate.msg_id == original.msg_id
+        assert duplicate.copy_id != original.copy_id
+
+    def test_copy_payload_is_independent(self):
+        original = Message(kind="x", src=1, dst=2, created_at=0.0, payload={"k": 1})
+        duplicate = original.copy()
+        duplicate.payload["k"] = 2
+        assert original.payload["k"] == 1
+
+    def test_copy_preserves_fields(self):
+        original = Message(
+            kind="refresh", src=3, dst=9, created_at=5.0, size=512,
+            ttl=100.0, hops_left=4,
+        )
+        original.hop_count = 2
+        duplicate = original.copy()
+        assert duplicate.kind == "refresh"
+        assert duplicate.src == 3
+        assert duplicate.dst == 9
+        assert duplicate.size == 512
+        assert duplicate.ttl == 100.0
+        assert duplicate.hops_left == 4
+        assert duplicate.hop_count == 2
+
+    def test_expiry(self):
+        message = Message(kind="x", src=1, dst=2, created_at=10.0, ttl=5.0)
+        assert not message.expired(14.9)
+        assert message.expired(15.1)
+
+    def test_no_ttl_never_expires(self):
+        message = Message(kind="x", src=1, dst=2, created_at=0.0)
+        assert not message.expired(1e12)
+
+    def test_reset_ids(self):
+        reset_message_ids()
+        message = Message(kind="x", src=1, dst=2, created_at=0.0)
+        assert message.msg_id == 1

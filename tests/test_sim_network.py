@@ -1,0 +1,165 @@
+"""Tests for the contact-driven network and link models."""
+
+from repro.mobility.trace import Contact, ContactTrace
+from repro.sim.messages import Message
+from repro.sim.network import BandwidthLimitedLink
+from repro.sim.node import ProtocolHandler
+from tests.conftest import build_network
+
+
+class Sink(ProtocolHandler):
+    def __init__(self):
+        super().__init__()
+        self.received = []
+
+    def on_message(self, message, sender):
+        self.received.append((message, sender.node_id))
+
+
+def pair_trace(start=10.0, end=20.0):
+    return ContactTrace([Contact.make(0, 1, start, end)], node_ids=[0, 1])
+
+
+class TestTransfer:
+    def test_delivery_during_contact(self):
+        net = build_network(pair_trace())
+        sink = net.nodes[1].add_handler(Sink())
+        net.start()
+        net.sim.run(until=15.0)
+        ok = net.transfer(
+            Message(kind="x", src=0, dst=1, created_at=15.0), net.nodes[0], net.nodes[1]
+        )
+        assert ok
+        net.sim.run(until=16.0)
+        assert len(sink.received) == 1
+        assert sink.received[0][1] == 0
+
+    def test_rejected_when_not_in_contact(self):
+        net = build_network(pair_trace())
+        net.start()
+        net.sim.run(until=5.0)
+        ok = net.transfer(
+            Message(kind="x", src=0, dst=1, created_at=5.0), net.nodes[0], net.nodes[1]
+        )
+        assert not ok
+        assert net.stats.counter_value("net.transfer_rejected_no_contact") == 1
+
+    def test_rejected_when_expired(self):
+        net = build_network(pair_trace())
+        net.start()
+        net.sim.run(until=15.0)
+        stale = Message(kind="x", src=0, dst=1, created_at=0.0, ttl=1.0)
+        assert not net.transfer(stale, net.nodes[0], net.nodes[1])
+        assert net.stats.counter_value("net.transfer_rejected_expired") == 1
+
+    def test_hop_count_increments(self):
+        net = build_network(pair_trace())
+        net.nodes[1].add_handler(Sink())
+        net.start()
+        net.sim.run(until=15.0)
+        message = Message(kind="x", src=0, dst=1, created_at=15.0)
+        net.transfer(message, net.nodes[0], net.nodes[1])
+        assert message.hop_count == 1
+
+    def test_stats_count_transfers_by_kind(self):
+        net = build_network(pair_trace())
+        net.nodes[1].add_handler(Sink())
+        net.start()
+        net.sim.run(until=15.0)
+        for kind in ("a", "a", "b"):
+            net.transfer(
+                Message(kind=kind, src=0, dst=1, created_at=15.0, size=100),
+                net.nodes[0],
+                net.nodes[1],
+            )
+        assert net.stats.counter_value("net.transfers") == 3
+        assert net.stats.counter_value("net.transfers.a") == 2
+        assert net.stats.counter_value("net.transfers.b") == 1
+        assert net.stats.counter_value("net.bytes") == 300
+
+    def test_transfer_records(self):
+        net = build_network(pair_trace(), record_transfers=True)
+        net.nodes[1].add_handler(Sink())
+        net.start()
+        net.sim.run(until=15.0)
+        net.transfer(
+            Message(kind="x", src=0, dst=1, created_at=15.0, size=64),
+            net.nodes[0],
+            net.nodes[1],
+        )
+        assert len(net.transfers) == 1
+        record = net.transfers[0]
+        assert (record.sender, record.receiver, record.size) == (0, 1, 64)
+
+
+class TestTraceReplay:
+    def test_contacts_scheduled_counter(self):
+        net = build_network(pair_trace())
+        assert net.stats.counter_value("net.contacts_scheduled") == 1
+
+    def test_unknown_node_contacts_skipped(self):
+        trace = ContactTrace(
+            [Contact.make(0, 1, 1.0, 2.0), Contact.make(5, 6, 1.0, 2.0)],
+            node_ids=[0, 1, 5, 6],
+        )
+        from repro.sim.engine import Simulator
+        from repro.sim.node import Node
+        from repro.sim.network import ContactNetwork
+
+        sim = Simulator()
+        nodes = {0: Node(0), 1: Node(1)}
+        net = ContactNetwork(sim, nodes, trace)
+        assert net.stats.counter_value("net.contacts_scheduled") == 1
+
+    def test_run_returns_final_time(self):
+        net = build_network(pair_trace())
+        assert net.run(until=100.0) == 100.0
+
+
+class TestBandwidthLimitedLink:
+    def test_budget_derived_from_duration(self):
+        # 10 s contact at 800 bps -> 1000 bytes budget.
+        link = BandwidthLimitedLink(bandwidth_bps=800.0)
+        net = build_network(pair_trace(10.0, 20.0), link_model=link)
+        net.nodes[1].add_handler(Sink())
+        net.start()
+        net.sim.run(until=15.0)
+
+        def send(size):
+            return net.transfer(
+                Message(kind="x", src=0, dst=1, created_at=15.0, size=size),
+                net.nodes[0],
+                net.nodes[1],
+            )
+
+        assert send(600)
+        assert not send(600)  # only 400 bytes left
+        assert send(400)
+        assert not send(1)
+        assert net.stats.counter_value("net.transfer_rejected_bandwidth") == 2
+
+    def test_budget_resets_on_new_contact(self):
+        link = BandwidthLimitedLink(bandwidth_bps=800.0)
+        trace = ContactTrace(
+            [Contact.make(0, 1, 0.0, 10.0), Contact.make(0, 1, 50.0, 60.0)],
+            node_ids=[0, 1],
+        )
+        net = build_network(trace, link_model=link)
+        net.nodes[1].add_handler(Sink())
+        net.start()
+        net.sim.run(until=5.0)
+        assert net.transfer(
+            Message(kind="x", src=0, dst=1, created_at=5.0, size=1000),
+            net.nodes[0], net.nodes[1],
+        )
+        net.sim.run(until=55.0)
+        assert net.transfer(
+            Message(kind="x", src=0, dst=1, created_at=55.0, size=1000),
+            net.nodes[0], net.nodes[1],
+        )
+
+    def test_invalid_bandwidth(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BandwidthLimitedLink(0.0)

@@ -1,0 +1,153 @@
+"""Simulation-vs-closed-form validation.
+
+The replication analysis rests on renewal arguments over exponential
+inter-contacts.  These tests generate traces from exactly that model and
+check that the *simulated protocol* reproduces the closed forms --
+end-to-end validation that the event machinery, the refresh protocol and
+the analysis agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.caching.items import DataCatalog, DataItem
+from repro.core.replication import (
+    contact_probability,
+    expected_fresh_fraction,
+    two_hop_probability,
+)
+from repro.core.scheme import build_simulation
+from repro.mobility.synthetic import PoissonContactModel, homogeneous_rate_matrix
+from repro.mobility.trace import ContactTrace
+
+
+def source_only_runtime(trace, refresh_interval, lifetime_factor=1000.0):
+    """One source (node 0), one caching node (node 1), source-only refresh."""
+    catalog = DataCatalog(
+        [
+            DataItem(
+                item_id=0,
+                source=0,
+                refresh_interval=refresh_interval,
+                lifetime=lifetime_factor * refresh_interval,
+            )
+        ]
+    )
+    return build_simulation(
+        trace, catalog, scheme="source", caching_nodes=[1], seed=1
+    )
+
+
+class TestFreshFractionClosedForm:
+    @pytest.mark.parametrize("rate_x_interval", [0.5, 1.0, 3.0])
+    def test_source_only_fresh_fraction(self, rate_x_interval):
+        """Fraction of time the single cached copy is fresh.
+
+        Under source-only refresh with contact rate lambda and refresh
+        interval R, the closed form is 1 - (1 - e^{-lambda R})/(lambda R).
+        """
+        interval = 1000.0
+        rate = rate_x_interval / interval
+        horizon = 4000 * interval / rate_x_interval  # many renewal cycles
+        model = PoissonContactModel(
+            homogeneous_rate_matrix(2, rate), mean_duration=1e-3
+        )
+        trace = model.generate(horizon, np.random.default_rng(8))
+        runtime = source_only_runtime(trace, interval)
+        runtime.install_freshness_probe(interval=interval / 7.3, until=horizon)
+        runtime.run(until=horizon)
+        measured = runtime.stats.series("probe.freshness").mean()
+        predicted = expected_fresh_fraction(rate, interval)
+        assert measured == pytest.approx(predicted, abs=0.03)
+
+    def test_on_time_ratio_matches_contact_probability(self):
+        """P(refresh delivered within R) should be 1 - e^{-lambda R}."""
+        from repro.analysis.metrics import refresh_outcomes
+
+        interval = 1000.0
+        rate = 1.2 / interval
+        horizon = 3000 * interval
+        model = PoissonContactModel(
+            homogeneous_rate_matrix(2, rate), mean_duration=1e-3
+        )
+        trace = model.generate(horizon, np.random.default_rng(9))
+        runtime = source_only_runtime(trace, interval)
+        runtime.run(until=horizon)
+        outcome = refresh_outcomes(
+            runtime.update_log,
+            runtime.history,
+            runtime.catalog,
+            runtime.caching_nodes,
+            horizon=horizon,
+            messages=runtime.refresh_overhead(),
+        )
+        predicted = contact_probability(rate, interval)
+        assert outcome.on_time_ratio == pytest.approx(predicted, abs=0.03)
+
+    def test_relay_delivery_matches_two_hop_form(self):
+        """A pure relay edge delivers within T w.p. the hypoexponential CDF.
+
+        Topology: source 0 never meets caching node 2; node 1 meets both
+        at known rates.  Every version must travel 0 -> 1 -> 2, so the
+        on-time ratio should match ``two_hop_probability``.
+        """
+        from repro.analysis.metrics import refresh_outcomes
+        from repro.contacts.rates import RateTable
+        from repro.core.scheme import SchemeConfig
+
+        interval = 1000.0
+        rate_01 = 2.0 / interval
+        rate_12 = 1.5 / interval
+        horizon = 2500 * interval
+        rates_matrix = np.zeros((3, 3))
+        rates_matrix[0, 1] = rates_matrix[1, 0] = rate_01
+        rates_matrix[1, 2] = rates_matrix[2, 1] = rate_12
+        model = PoissonContactModel(rates_matrix, mean_duration=1e-3)
+        trace = model.generate(horizon, np.random.default_rng(10))
+
+        catalog = DataCatalog(
+            [DataItem(item_id=0, source=0, refresh_interval=interval,
+                      lifetime=1e9)]
+        )
+        config = SchemeConfig(name="relay-only", structure="star",
+                              max_depth=1, max_relays=1)
+        runtime = build_simulation(
+            trace, catalog, scheme=config, caching_nodes=[2], seed=1
+        )
+        runtime.run(until=horizon)
+        outcome = refresh_outcomes(
+            runtime.update_log, runtime.history, catalog,
+            runtime.caching_nodes, horizon=horizon,
+            messages=runtime.refresh_overhead(),
+        )
+        predicted = two_hop_probability(rate_01, rate_12, interval)
+        # The protocol re-hands a fresh copy per version, but node 1 may
+        # still carry the task from before the version was published is
+        # not possible (tasks are per-version), so the two-hop renewal
+        # argument applies directly.
+        assert outcome.on_time_ratio == pytest.approx(predicted, abs=0.05)
+
+
+class TestMleRateRecovery:
+    def test_estimated_rates_feed_consistent_plans(self):
+        """Plans built from estimated rates match plans from true rates."""
+        from repro.contacts.rates import mle_rates
+        from repro.core.replication import plan_edge
+
+        rate = 0.002
+        model = PoissonContactModel(
+            homogeneous_rate_matrix(4, rate), mean_duration=1e-3
+        )
+        trace = model.generate(2_000_000.0, np.random.default_rng(11))
+        estimated = mle_rates(trace, t0=0.0, t1=2_000_000.0)
+        candidates_true = [(2, rate, rate), (3, rate, rate)]
+        candidates_est = [
+            (2, estimated.rate(0, 2), estimated.rate(2, 1)),
+            (3, estimated.rate(0, 3), estimated.rate(3, 1)),
+        ]
+        plan_true = plan_edge(0, 1, rate, candidates_true, window=1000.0,
+                              target=0.9, max_relays=2)
+        plan_est = plan_edge(0, 1, estimated.rate(0, 1), candidates_est,
+                             window=1000.0, target=0.9, max_relays=2)
+        assert plan_est.num_relays == plan_true.num_relays
+        assert plan_est.achieved == pytest.approx(plan_true.achieved, abs=0.05)

@@ -1,0 +1,111 @@
+"""Tests for popularity distributions and query scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.popularity import UniformPopularity, ZipfPopularity
+from repro.workloads.queries import schedule_queries
+
+
+class TestZipfPopularity:
+    def test_pmf_sums_to_one(self):
+        pop = ZipfPopularity([0, 1, 2, 3], s=0.8)
+        assert pop.pmf().sum() == pytest.approx(1.0)
+
+    def test_rank_order(self):
+        pmf = ZipfPopularity([10, 20, 30], s=1.0).pmf()
+        assert pmf[0] > pmf[1] > pmf[2]
+        assert pmf[0] == pytest.approx(2 * pmf[1])
+
+    def test_sampling_matches_pmf(self, rng):
+        pop = ZipfPopularity([0, 1, 2], s=1.0)
+        draws = pop.sample_many(30000, rng)
+        counts = np.bincount(draws, minlength=3) / 30000
+        assert counts == pytest.approx(pop.pmf(), abs=0.02)
+
+    def test_sample_single(self, rng):
+        pop = ZipfPopularity([7], s=0.8)
+        assert pop.sample(rng) == 7
+
+    def test_uniform_special_case(self, rng):
+        pop = UniformPopularity([0, 1, 2, 3])
+        assert pop.pmf() == pytest.approx([0.25] * 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfPopularity([], s=0.8)
+        with pytest.raises(ValueError):
+            ZipfPopularity([0], s=-1.0)
+
+
+class TestScheduleQueries:
+    @pytest.fixture
+    def runtime(self):
+        from repro.caching.items import DataCatalog
+        from repro.core.scheme import build_simulation
+        from repro.mobility.calibration import get_profile
+
+        trace = get_profile("small").generate(
+            np.random.default_rng(5), duration=43200.0
+        )
+        catalog = DataCatalog.uniform(
+            2, sources=[trace.node_ids[0]], refresh_interval=3600.0
+        )
+        return build_simulation(trace, catalog, scheme="hdr",
+                                num_caching_nodes=4, seed=1, with_queries=True)
+
+    def test_schedules_poisson_count(self, runtime, rng):
+        count = schedule_queries(
+            runtime, rate_per_node=10 / 43200.0, duration=43200.0, rng=rng
+        )
+        requesters = (
+            len(runtime.nodes) - len(runtime.sources) - len(runtime.caching_nodes)
+        )
+        assert count == pytest.approx(10 * requesters, rel=0.5)
+
+    def test_queries_actually_issued(self, runtime, rng):
+        schedule_queries(runtime, rate_per_node=5 / 43200.0, duration=43200.0, rng=rng)
+        runtime.run(until=43200.0)
+        records = runtime.query_records()
+        assert records
+        assert records == sorted(records, key=lambda r: r.issued_at)
+
+    def test_requesters_exclude_infrastructure(self, runtime, rng):
+        schedule_queries(runtime, rate_per_node=20 / 43200.0, duration=43200.0, rng=rng)
+        runtime.run(until=43200.0)
+        issuers = {r.requester for r in runtime.query_records()}
+        assert not issuers & set(runtime.sources)
+        assert not issuers & set(runtime.caching_nodes)
+
+    def test_explicit_requesters(self, runtime, rng):
+        nid = [
+            n for n in runtime.nodes
+            if n not in runtime.sources and n not in runtime.caching_nodes
+        ][0]
+        schedule_queries(
+            runtime, rate_per_node=50 / 43200.0, duration=43200.0, rng=rng,
+            requesters=[nid],
+        )
+        runtime.run(until=43200.0)
+        assert {r.requester for r in runtime.query_records()} == {nid}
+
+    def test_validation(self, runtime, rng):
+        with pytest.raises(ValueError):
+            schedule_queries(runtime, rate_per_node=-1.0, duration=10.0, rng=rng)
+        with pytest.raises(ValueError):
+            schedule_queries(runtime, rate_per_node=1.0, duration=0.0, rng=rng)
+
+    def test_requires_query_plane(self, rng):
+        from repro.caching.items import DataCatalog
+        from repro.core.scheme import build_simulation
+        from repro.mobility.calibration import get_profile
+
+        trace = get_profile("small").generate(
+            np.random.default_rng(5), duration=3600.0
+        )
+        catalog = DataCatalog.uniform(
+            1, sources=[trace.node_ids[0]], refresh_interval=3600.0
+        )
+        runtime = build_simulation(trace, catalog, scheme="hdr", num_caching_nodes=3)
+        with pytest.raises(ValueError, match="query plane"):
+            schedule_queries(runtime, rate_per_node=1.0, duration=10.0, rng=rng)
