@@ -3,11 +3,12 @@
 ::
 
     repro experiments                 # list experiment ids and titles
-    repro run E3 [--fast]             # run one experiment, print its table
+    repro run E3 [--fast] [-j 4]      # run one experiment, print its table
     repro run all [--fast]            # run every experiment
     repro trace-stats reality         # statistics of a calibrated profile
     repro analyze-trace contacts.txt  # stats/centrality of a real trace file
     repro simulate --scheme hdr ...   # one ad-hoc simulation run
+    repro bench [-o BENCH.json]       # engine + parallel-sweep benchmarks
 """
 
 from __future__ import annotations
@@ -28,9 +29,23 @@ def _cmd_experiments(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_jobs_or_complain(jobs) -> Optional[int]:
+    """Resolve the worker count, printing a clean error instead of a
+    traceback for an invalid ``--jobs`` or ``$REPRO_JOBS`` value."""
+    from repro.experiments.parallel import resolve_jobs
+
+    try:
+        return resolve_jobs(jobs)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments import EXPERIMENTS, Settings
 
+    if _resolve_jobs_or_complain(args.jobs) is None:
+        return 2
     settings = Settings.fast() if args.fast else Settings()
     ids = list(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment.upper()]
     unknown = [i for i in ids if i not in EXPERIMENTS]
@@ -38,7 +53,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown experiment(s): {unknown}; known: {list(EXPERIMENTS)}")
         return 2
     for exp_id in ids:
-        result = EXPERIMENTS[exp_id](settings)
+        result = EXPERIMENTS[exp_id](settings, jobs=args.jobs)
         print(result)
         if args.export:
             from repro.analysis.export import export_result
@@ -122,6 +137,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import run_benchmarks
+
+    if _resolve_jobs_or_complain(args.jobs) is None:
+        return 2
+    report = run_benchmarks(jobs=args.jobs, path=args.output)
+    engine = report["engine"]
+    sweep = report["sweep"]
+    print(f"engine : {engine['events_per_sec']:,.0f} events/s "
+          f"(legacy {engine['legacy_events_per_sec']:,.0f}, "
+          f"{engine['improvement_pct']:+.1f}%)")
+    print(f"sweep  : serial {sweep['serial_seconds']:.2f}s, "
+          f"jobs={sweep['jobs']} {sweep['parallel_seconds']:.2f}s "
+          f"({sweep['speedup']:.2f}x on {sweep['cpus']} cpu(s))")
+    print(f"wrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -138,6 +171,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="scaled-down settings (small trace)")
     run_parser.add_argument("--export", metavar="DIR", default=None,
                             help="also write the raw data as CSV files to DIR")
+    run_parser.add_argument("--jobs", "-j", type=int, default=None,
+                            help="parallel worker processes (0 or -1 = one "
+                            "per CPU; default: $REPRO_JOBS, else serial)")
 
     stats_parser = sub.add_parser("trace-stats", help="statistics of a profile")
     stats_parser.add_argument("profile")
@@ -162,6 +198,16 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--refresh-hours", type=float, default=4.0)
     sim_parser.add_argument("--p-req", type=float, default=0.9)
     sim_parser.add_argument("--seed", type=int, default=1)
+
+    bench_parser = sub.add_parser(
+        "bench", help="engine events/sec + parallel-sweep wall-clock"
+    )
+    bench_parser.add_argument("--jobs", "-j", type=int, default=4,
+                              help="worker processes for the sweep half")
+    bench_parser.add_argument("--output", "-o", metavar="FILE",
+                              default="BENCH_runner.json",
+                              help="JSON report path (default: "
+                              "BENCH_runner.json)")
     return parser
 
 
@@ -173,6 +219,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace-stats": _cmd_trace_stats,
         "analyze-trace": _cmd_analyze_trace,
         "simulate": _cmd_simulate,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -54,9 +54,12 @@ def two_hop_probability(rate1: float, rate2: float, window: float) -> float:
     if math.isclose(rate1, rate2, rel_tol=1e-9):
         lam = 0.5 * (rate1 + rate2)
         return 1.0 - math.exp(-lam * window) * (1.0 + lam * window)
-    return 1.0 - (
+    p = 1.0 - (
         rate2 * math.exp(-rate1 * window) - rate1 * math.exp(-rate2 * window)
     ) / (rate2 - rate1)
+    # The subtraction cancels catastrophically for tiny rate*window
+    # products and can land a hair outside [0, 1]; clamp it back.
+    return min(1.0, max(0.0, p))
 
 
 def decompose_requirement(p_req: float, depth: int) -> float:

@@ -1,13 +1,22 @@
 """Experiment harness: one module per reproduced table/figure.
 
-Every experiment module exposes ``run(settings) -> ExperimentResult``;
-:data:`EXPERIMENTS` maps the stable experiment ids (E1..E8, see
-DESIGN.md) to those callables.  ``settings`` is an
+Every experiment module exposes ``run(settings, jobs=None) ->
+ExperimentResult``; :data:`EXPERIMENTS` maps the stable experiment ids
+(E1..E8, see DESIGN.md) to those callables.  ``settings`` is an
 :class:`~repro.experiments.config.Settings` instance; ``Settings.fast()``
-gives the scaled-down variant the CI benchmarks run.
+gives the scaled-down variant the CI benchmarks run.  ``jobs`` selects
+the process-pool worker count (``None`` consults ``$REPRO_JOBS``, then
+runs serially); parallel output is identical to serial.
 """
 
+from repro.experiments.artifacts import SeedArtifacts, seed_artifacts
 from repro.experiments.config import Settings
+from repro.experiments.parallel import (
+    SweepPoint,
+    resolve_jobs,
+    run_sweep,
+    run_tasks,
+)
 from repro.experiments.runner import (
     ExperimentResult,
     RunMetrics,
@@ -57,8 +66,14 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
     "RunMetrics",
+    "SeedArtifacts",
     "Settings",
+    "SweepPoint",
     "make_trace",
+    "resolve_jobs",
     "run_once",
     "run_replicated",
+    "run_sweep",
+    "run_tasks",
+    "seed_artifacts",
 ]

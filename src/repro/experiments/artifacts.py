@@ -1,0 +1,142 @@
+"""Per-seed artifact cache shared across schemes and sweep points.
+
+Every experiment pairs its schemes on the *same* trace realisation per
+seed, and most sweep points reuse that realisation too (a sweep varies
+protocol knobs, not the mobility).  Yet the seed's expensive derived
+artifacts -- the trace itself, the whole-trace MLE contact rates, the
+contact-centrality ranking, and the source selection -- used to be
+recomputed for every single run.
+
+:func:`seed_artifacts` computes them exactly once per
+``(profile, duration, seed)`` and memoises the result in a small
+process-local LRU, so:
+
+* serial sweeps stop re-deriving the same trace dozens of times, and
+* the parallel runner ships the precomputed artifacts to its workers
+  instead of having each job regenerate them.
+
+Everything cached here is a pure deterministic function of the key, so
+cache hits are byte-identical to recomputation and the cache can never
+change a result.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.contacts.centrality import contact_centrality, rank_nodes
+from repro.contacts.rates import RateTable, mle_rates
+from repro.mobility.calibration import get_profile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.config import Settings
+    from repro.mobility.trace import ContactTrace
+
+#: centrality window used for the source ranking (matches
+#: :func:`repro.experiments.runner.choose_sources`)
+SOURCE_RANKING_WINDOW = 6 * 3600.0
+
+#: maximum number of (profile, duration, seed) entries kept alive
+CACHE_SIZE = 32
+
+
+@dataclass(frozen=True)
+class SeedArtifacts:
+    """Everything derivable from ``(profile, duration, seed)`` alone."""
+
+    profile: str
+    duration: float
+    seed: int
+    trace: "ContactTrace"
+    rates: RateTable
+    #: node ids ranked by contact centrality, most central first
+    ranking: tuple[int, ...]
+
+    def sources(self, num_sources: int) -> list[int]:
+        """Median-centrality source selection (see ``choose_sources``)."""
+        return sources_from_ranking(self.ranking, num_sources)
+
+
+def sources_from_ranking(ranking: tuple[int, ...], num_sources: int) -> list[int]:
+    """Slice ``num_sources`` median-centrality nodes out of a ranking.
+
+    Sources are ordinary members of the network -- neither the social
+    hubs (those become caching nodes) nor isolated stragglers (a source
+    nobody meets starves every scheme equally but mostly measures the
+    trace, not the scheme).  Taking nodes from the middle of the
+    centrality ranking is deterministic and portable across traces.
+    """
+    middle = len(ranking) // 2
+    picked = ranking[middle : middle + num_sources]
+    if len(picked) < num_sources:
+        picked = ranking[-num_sources:]
+    return sorted(picked)
+
+
+_cache: "OrderedDict[tuple[str, float, int], SeedArtifacts]" = OrderedDict()
+
+
+def seed_artifacts(settings: "Settings", seed: int) -> SeedArtifacts:
+    """The cached artifacts of one ``(profile, duration, seed)`` triple."""
+    key = (settings.profile, float(settings.duration), int(seed))
+    cached = _cache.get(key)
+    if cached is not None:
+        _cache.move_to_end(key)
+        return cached
+    artifacts = _compute(settings.profile, float(settings.duration), int(seed))
+    _cache[key] = artifacts
+    while len(_cache) > CACHE_SIZE:
+        _cache.popitem(last=False)
+    return artifacts
+
+
+def cache_put(artifacts: SeedArtifacts) -> None:
+    """Insert precomputed artifacts (a worker receiving them from the
+    parent process seeds its local cache with this)."""
+    key = (artifacts.profile, artifacts.duration, artifacts.seed)
+    _cache[key] = artifacts
+    _cache.move_to_end(key)
+    while len(_cache) > CACHE_SIZE:
+        _cache.popitem(last=False)
+
+
+def artifacts_for_trace(trace: "ContactTrace") -> SeedArtifacts | None:
+    """The cached entry whose trace *is* ``trace``, if any.
+
+    Identity (not equality) is the test: a cached ranking may only be
+    reused for the exact trace object it was derived from.
+    """
+    for artifacts in _cache.values():
+        if artifacts.trace is trace:
+            return artifacts
+    return None
+
+
+def cache_clear() -> None:
+    """Drop every cached entry (tests)."""
+    _cache.clear()
+
+
+def cache_info() -> dict[str, int]:
+    """Current cache occupancy (diagnostics and tests)."""
+    return {"entries": len(_cache), "max_entries": CACHE_SIZE}
+
+
+def _compute(profile: str, duration: float, seed: int) -> SeedArtifacts:
+    rng = np.random.default_rng(seed)
+    trace = get_profile(profile).generate(rng, duration=duration)
+    rates = mle_rates(trace)
+    scores = contact_centrality(rates, window=SOURCE_RANKING_WINDOW)
+    ranking = tuple(rank_nodes(scores))
+    return SeedArtifacts(
+        profile=profile,
+        duration=duration,
+        seed=seed,
+        trace=trace,
+        rates=rates,
+        ranking=ranking,
+    )

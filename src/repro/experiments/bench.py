@@ -1,0 +1,238 @@
+"""Performance benchmarks: engine events/sec and sweep wall-clock.
+
+Two measurements back the performance claims in the README:
+
+* **engine micro-benchmark** -- a heap-heavy synthetic workload (many
+  pending self-rescheduling timers, a sprinkling of cancellations) run
+  through the current :class:`~repro.sim.engine.Simulator` and through
+  an embedded *legacy* reference engine that stores ``order=True``
+  dataclass events directly in the heap (the pre-optimisation design).
+  Reported as events/sec plus the speedup of current over legacy.
+
+* **sweep benchmark** -- a 4-seed x 4-scheme comparison sweep executed
+  serially (``jobs=1``) and through the process pool (``jobs=4`` by
+  default), with the per-seed artifact cache cleared before each timed
+  run so both sides pay the same trace-generation cost.  Reported as
+  wall-clock seconds plus the parallel speedup.
+
+``repro bench`` runs both and writes ``BENCH_runner.json``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.experiments.artifacts import cache_clear
+from repro.experiments.config import DAY, Settings
+from repro.experiments.parallel import SweepPoint, resolve_jobs, run_sweep
+
+#: schemes exercised by the sweep benchmark (4 x 4 seeds = 16 jobs)
+SWEEP_SCHEMES = ("hdr", "flooding", "random", "source")
+SWEEP_SEEDS = (1, 2, 3, 4)
+
+
+# ---------------------------------------------------------------------------
+# Legacy reference engine (the pre-optimisation design, kept verbatim in
+# miniature so the events/sec comparison stays reproducible).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(order=True)
+class _LegacyEvent:
+    """``order=True`` dataclass event -- every heap compare is a Python call."""
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class _LegacySimulator:
+    """Minimal replica of the seed engine: dataclass events in the heap."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[_LegacyEvent] = []
+        self._seq = itertools.count()
+        self._events_executed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any,
+        priority: int = 0,
+    ) -> _LegacyEvent:
+        event = _LegacyEvent(float(time), priority, next(self._seq),
+                             callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self, until: Optional[float] = None) -> float:
+        while self._heap:
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._events_executed += 1
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+
+# ---------------------------------------------------------------------------
+# Engine micro-benchmark
+# ---------------------------------------------------------------------------
+
+
+def _pump(sim, num_events: int, fanout: int = 512) -> int:
+    """Heap-heavy synthetic workload: ``fanout`` self-rescheduling timers.
+
+    Keeps ~``fanout`` events pending so every push/pop walks a deep
+    heap; every 16th tick schedules-and-cancels an extra event to
+    exercise the lazy-deletion path.  Identical (deterministic) on both
+    engines.
+    """
+    executed = 0
+
+    def tick(delta: float, priority: int) -> None:
+        nonlocal executed
+        executed += 1
+        if executed >= num_events:
+            return
+        if executed % 16 == 0:
+            sim.schedule_at(sim.now + delta * 0.5, tick, delta, priority,
+                            priority=priority).cancel()
+        sim.schedule_at(sim.now + delta, tick, delta, priority,
+                        priority=priority)
+
+    for i in range(fanout):
+        sim.schedule_at(0.001 * (i % 97), tick, 0.5 + 0.25 * (i % 7), i % 3,
+                        priority=i % 3)
+    sim.run()
+    return executed
+
+
+def engine_benchmark(num_events: int = 200_000, repeats: int = 3) -> dict:
+    """Events/sec of the current engine vs the legacy reference.
+
+    Best-of-``repeats`` wall clock for each engine; returns a dict with
+    ``events_per_sec`` (current), ``legacy_events_per_sec`` and the
+    ``speedup`` ratio.
+    """
+    from repro.sim.engine import Simulator
+
+    def best(make_sim) -> tuple[float, int]:
+        times, counts = [], []
+        for _ in range(repeats):
+            sim = make_sim()
+            start = time.perf_counter()
+            executed = _pump(sim, num_events)
+            times.append(time.perf_counter() - start)
+            counts.append(executed)
+        assert len(set(counts)) == 1  # workload is deterministic
+        return min(times), counts[0]
+
+    current, executed = best(Simulator)
+    legacy, legacy_executed = best(_LegacySimulator)
+    assert executed == legacy_executed  # identical workload on both engines
+    return {
+        "num_events": executed,
+        "repeats": repeats,
+        "events_per_sec": round(executed / current, 1),
+        "legacy_events_per_sec": round(executed / legacy, 1),
+        "speedup": round(legacy / current, 3),
+        "improvement_pct": round((legacy / current - 1.0) * 100.0, 1),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Sweep benchmark
+# ---------------------------------------------------------------------------
+
+
+def _sweep_settings() -> Settings:
+    return Settings.fast().with_(seeds=SWEEP_SEEDS, duration=6 * DAY)
+
+
+def _timed_sweep(jobs: int) -> float:
+    cache_clear()  # both sides pay the same trace-generation cost
+    point = SweepPoint(settings=_sweep_settings(), schemes=SWEEP_SCHEMES)
+    start = time.perf_counter()
+    run_sweep([point], jobs=jobs)
+    return time.perf_counter() - start
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def sweep_benchmark(jobs: Optional[int] = None) -> dict:
+    """Serial vs parallel wall-clock for the 4-seed x 4-scheme sweep.
+
+    The reported speedup is bounded by ``cpus``: on a single-core
+    machine the pool can only add overhead, so the report carries the
+    CPU count to make the number interpretable.
+    """
+    workers = resolve_jobs(jobs) if jobs is not None else 4
+    if workers <= 1:
+        workers = 4
+    cpus = available_cpus()
+    serial = _timed_sweep(1)
+    parallel = _timed_sweep(workers)
+    report = {
+        "seeds": len(SWEEP_SEEDS),
+        "schemes": list(SWEEP_SCHEMES),
+        "jobs": workers,
+        "cpus": cpus,
+        "serial_seconds": round(serial, 3),
+        "parallel_seconds": round(parallel, 3),
+        "speedup": round(serial / parallel, 3),
+    }
+    if cpus < 2:
+        report["note"] = (
+            "single-CPU machine: process-pool parallelism cannot beat "
+            "serial here; re-run on a multi-core host for the speedup"
+        )
+    return report
+
+
+def run_benchmarks(jobs: Optional[int] = None,
+                   path: Optional[str] = None) -> dict:
+    """Run both benchmarks; optionally write the JSON report to ``path``."""
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "engine": engine_benchmark(),
+        "sweep": sweep_benchmark(jobs=jobs),
+    }
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    return report

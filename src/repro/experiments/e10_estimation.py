@@ -19,20 +19,20 @@ uniform pays a visible penalty, bounding the value of estimation.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.analysis.aggregate import summarize
 from repro.analysis.metrics import freshness_summary, refresh_outcomes
 from repro.analysis.tables import format_table
+from repro.caching.items import DataCatalog
 from repro.contacts.rates import RateTable, ewma_rates, mle_rates
 from repro.core.scheme import build_simulation
+from repro.experiments.artifacts import seed_artifacts
 from repro.experiments.config import Settings
-from repro.experiments.runner import (
-    ExperimentResult,
-    choose_sources,
-    make_catalog,
-    make_trace,
-)
+from repro.experiments.parallel import run_tasks
+from repro.experiments.runner import ExperimentResult, make_catalog
+from repro.mobility.trace import ContactTrace
 
 TITLE = "HDR vs quality of the distributed rate estimates"
 
@@ -40,9 +40,9 @@ ESTIMATORS = ["oracle", "warmup", "ewma", "uniform"]
 WARMUP_FRACTION = 0.25
 
 
-def _estimate(name: str, trace) -> RateTable:
+def _estimate(name: str, trace, oracle: Optional[RateTable] = None) -> RateTable:
     if name == "oracle":
-        return mle_rates(trace)
+        return oracle if oracle is not None else mle_rates(trace)
     cutoff = trace.start_time + WARMUP_FRACTION * trace.duration
     prefix = trace.window(trace.start_time, cutoff)
     if name == "warmup":
@@ -61,46 +61,74 @@ def _estimate(name: str, trace) -> RateTable:
     raise ValueError(f"unknown estimator {name!r}")
 
 
-def run(settings: Optional[Settings] = None) -> ExperimentResult:
+@dataclass(frozen=True)
+class _EstimatorJob:
+    """One (seed, estimator) HDR build-and-run, picklable."""
+
+    estimator: str
+    seed: int
+    settings: Settings
+    trace: ContactTrace
+    oracle_rates: RateTable
+    catalog: DataCatalog
+    caching_nodes: tuple[int, ...]
+
+
+def _estimator_job(job: _EstimatorJob) -> tuple[float, float]:
+    """Worker: run one estimator variant, return (freshness, on_time)."""
+    settings = job.settings
+    runtime = build_simulation(
+        job.trace, job.catalog, scheme="hdr",
+        caching_nodes=list(job.caching_nodes),
+        rates=_estimate(job.estimator, job.trace, oracle=job.oracle_rates),
+        seed=job.seed,
+        refresh_jitter=settings.refresh_jitter,
+    )
+    runtime.install_freshness_probe(
+        interval=settings.probe_interval, until=settings.duration
+    )
+    runtime.run(until=settings.duration)
+    fresh = freshness_summary(
+        runtime, t0=settings.warmup_fraction * settings.duration
+    )
+    outcome = refresh_outcomes(
+        runtime.update_log, runtime.history, job.catalog,
+        runtime.caching_nodes, horizon=settings.duration,
+        messages=runtime.refresh_overhead(),
+    )
+    return fresh.freshness, outcome.on_time_ratio
+
+
+def run(settings: Optional[Settings] = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Run the experiment and return its formatted table + raw data."""
     settings = settings or Settings()
     rows = []
     data: dict[str, dict[str, float]] = {}
     results: dict[str, list] = {name: [] for name in ESTIMATORS}
+    from repro.caching.ncl import select_caching_nodes
+
+    specs = []
     for seed in settings.seeds:
-        trace = make_trace(settings, seed)
-        catalog = make_catalog(settings, choose_sources(trace, settings))
-        oracle_rates = mle_rates(trace)
+        artifacts = seed_artifacts(settings, seed)
+        catalog = make_catalog(settings, artifacts.sources(settings.num_sources))
         # Fix the caching set across estimators (selected from the oracle)
         # so only hierarchy/provisioning quality varies.
-        from repro.caching.ncl import select_caching_nodes
-
         caching_nodes = select_caching_nodes(
-            oracle_rates,
+            artifacts.rates,
             settings.num_caching_nodes,
             exclude={item.source for item in catalog},
         )
         for name in ESTIMATORS:
-            runtime = build_simulation(
-                trace, catalog, scheme="hdr",
-                caching_nodes=caching_nodes,
-                rates=_estimate(name, trace),
-                seed=seed,
-                refresh_jitter=settings.refresh_jitter,
+            specs.append(
+                _EstimatorJob(
+                    estimator=name, seed=seed, settings=settings,
+                    trace=artifacts.trace, oracle_rates=artifacts.rates,
+                    catalog=catalog, caching_nodes=tuple(caching_nodes),
+                )
             )
-            runtime.install_freshness_probe(
-                interval=settings.probe_interval, until=settings.duration
-            )
-            runtime.run(until=settings.duration)
-            fresh = freshness_summary(
-                runtime, t0=settings.warmup_fraction * settings.duration
-            )
-            outcome = refresh_outcomes(
-                runtime.update_log, runtime.history, catalog,
-                runtime.caching_nodes, horizon=settings.duration,
-                messages=runtime.refresh_overhead(),
-            )
-            results[name].append((fresh.freshness, outcome.on_time_ratio))
+    for spec, outcome in zip(specs, run_tasks(_estimator_job, specs, jobs=jobs)):
+        results[spec.estimator].append(outcome)
     for name in ESTIMATORS:
         freshness = summarize([f for f, _ in results[name]])
         on_time = summarize([o for _, o in results[name]])

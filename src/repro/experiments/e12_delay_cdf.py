@@ -61,7 +61,8 @@ def _first_delays(runtime, horizon: float) -> tuple[list[float], int]:
     return list(first.values()), opportunities
 
 
-def run(settings: Optional[Settings] = None) -> ExperimentResult:
+def run(settings: Optional[Settings] = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Run the experiment and return its formatted table + raw data."""
     settings = settings or Settings()
     seed = settings.seeds[0]

@@ -21,6 +21,7 @@ nobody; this experiment is that argument, quantified.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -28,14 +29,14 @@ import numpy as np
 from repro.analysis.aggregate import summarize
 from repro.analysis.metrics import freshness_summary, judge_queries
 from repro.analysis.tables import format_table
+from repro.caching.items import DataCatalog
+from repro.contacts.rates import RateTable
 from repro.core.scheme import build_simulation
+from repro.experiments.artifacts import seed_artifacts
 from repro.experiments.config import Settings
-from repro.experiments.runner import (
-    ExperimentResult,
-    choose_sources,
-    make_catalog,
-    make_trace,
-)
+from repro.experiments.parallel import run_tasks
+from repro.experiments.runner import ExperimentResult, make_catalog
+from repro.mobility.trace import ContactTrace
 from repro.workloads.popularity import ZipfPopularity
 from repro.workloads.queries import schedule_queries
 
@@ -44,7 +45,55 @@ TITLE = "Refreshing (hdr) vs invalidation vs source-only"
 SCHEMES = ["hdr", "invalidate", "source"]
 
 
-def run(settings: Optional[Settings] = None) -> ExperimentResult:
+@dataclass(frozen=True)
+class _ConsistencyJob:
+    """One (seed, scheme) consistency-model run, picklable."""
+
+    scheme: str
+    seed: int
+    settings: Settings
+    trace: ContactTrace
+    rates: RateTable
+    catalog: DataCatalog
+
+
+def _consistency_job(job: _ConsistencyJob) -> dict[str, float]:
+    """Worker: one run, returns every metric column of the E13 table."""
+    settings = job.settings
+    runtime = build_simulation(
+        job.trace, job.catalog, scheme=job.scheme,
+        num_caching_nodes=settings.num_caching_nodes, rates=job.rates,
+        seed=job.seed, with_queries=True, record_transfers=True,
+        refresh_jitter=settings.refresh_jitter,
+    )
+    runtime.install_freshness_probe(
+        interval=settings.probe_interval, until=settings.duration
+    )
+    schedule_queries(
+        runtime,
+        rate_per_node=settings.query_rate,
+        duration=settings.duration,
+        rng=np.random.default_rng(job.seed * 7919 + 17),
+        popularity=ZipfPopularity(job.catalog.item_ids, s=settings.zipf_exponent),
+    )
+    runtime.run(until=settings.duration)
+    fresh = freshness_summary(
+        runtime, t0=settings.warmup_fraction * settings.duration
+    )
+    outcomes = judge_queries(runtime.query_records(), runtime.history, job.catalog)
+    return {
+        "freshness": fresh.freshness,
+        "validity": fresh.validity,
+        "answered": outcomes.answer_ratio,
+        "fresh_answers": outcomes.fresh_ratio,
+        "valid_answers": outcomes.valid_ratio,
+        "messages": runtime.refresh_overhead(),
+        "bytes": runtime.refresh_bytes(),
+    }
+
+
+def run(settings: Optional[Settings] = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Run the experiment and return its formatted table + raw data."""
     settings = settings or Settings()
     rows = []
@@ -55,42 +104,24 @@ def run(settings: Optional[Settings] = None) -> ExperimentResult:
                "bytes": []}
         for name in SCHEMES
     }
-    for seed in settings.seeds:
-        trace = make_trace(settings, seed)
-        catalog = make_catalog(settings, choose_sources(trace, settings))
-        for name in SCHEMES:
-            runtime = build_simulation(
-                trace, catalog, scheme=name,
-                num_caching_nodes=settings.num_caching_nodes, seed=seed,
-                with_queries=True, record_transfers=True,
-                refresh_jitter=settings.refresh_jitter,
-            )
-            runtime.install_freshness_probe(
-                interval=settings.probe_interval, until=settings.duration
-            )
-            schedule_queries(
-                runtime,
-                rate_per_node=settings.query_rate,
-                duration=settings.duration,
-                rng=np.random.default_rng(seed * 7919 + 17),
-                popularity=ZipfPopularity(catalog.item_ids,
-                                          s=settings.zipf_exponent),
-            )
-            runtime.run(until=settings.duration)
-            fresh = freshness_summary(
-                runtime, t0=settings.warmup_fraction * settings.duration
-            )
-            outcomes = judge_queries(
-                runtime.query_records(), runtime.history, catalog
-            )
-            bucket = collected[name]
-            bucket["freshness"].append(fresh.freshness)
-            bucket["validity"].append(fresh.validity)
-            bucket["answered"].append(outcomes.answer_ratio)
-            bucket["fresh_answers"].append(outcomes.fresh_ratio)
-            bucket["valid_answers"].append(outcomes.valid_ratio)
-            bucket["messages"].append(runtime.refresh_overhead())
-            bucket["bytes"].append(runtime.refresh_bytes())
+    per_seed = {seed: seed_artifacts(settings, seed) for seed in settings.seeds}
+    catalogs = {
+        seed: make_catalog(settings, art.sources(settings.num_sources))
+        for seed, art in per_seed.items()
+    }
+    specs = [
+        _ConsistencyJob(
+            scheme=name, seed=seed, settings=settings,
+            trace=per_seed[seed].trace, rates=per_seed[seed].rates,
+            catalog=catalogs[seed],
+        )
+        for seed in settings.seeds
+        for name in SCHEMES
+    ]
+    for spec, outcome in zip(specs, run_tasks(_consistency_job, specs, jobs=jobs)):
+        bucket = collected[spec.scheme]
+        for key, value in outcome.items():
+            bucket[key].append(value)
     for name in SCHEMES:
         bucket = collected[name]
         row = {

@@ -15,6 +15,7 @@ connected caching nodes are both hard to refresh *and* hard to query.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -22,14 +23,14 @@ import numpy as np
 from repro.analysis.aggregate import summarize
 from repro.analysis.metrics import freshness_summary, judge_queries
 from repro.analysis.tables import format_table
+from repro.caching.items import DataCatalog
+from repro.contacts.rates import RateTable
 from repro.core.scheme import build_simulation
+from repro.experiments.artifacts import seed_artifacts
 from repro.experiments.config import Settings
-from repro.experiments.runner import (
-    ExperimentResult,
-    choose_sources,
-    make_catalog,
-    make_trace,
-)
+from repro.experiments.parallel import run_tasks
+from repro.experiments.runner import ExperimentResult, make_catalog
+from repro.mobility.trace import ContactTrace
 from repro.workloads.popularity import ZipfPopularity
 from repro.workloads.queries import schedule_queries
 
@@ -38,7 +39,48 @@ TITLE = "Caching-node selection metric ablation (hdr)"
 METRICS = ["contact", "degree", "betweenness", "random"]
 
 
-def run(settings: Optional[Settings] = None) -> ExperimentResult:
+@dataclass(frozen=True)
+class _MetricJob:
+    """One (seed, ncl-metric) HDR run with queries, picklable."""
+
+    metric: str
+    seed: int
+    settings: Settings
+    trace: ContactTrace
+    rates: RateTable
+    catalog: DataCatalog
+
+
+def _metric_job(job: _MetricJob) -> tuple[float, float, float]:
+    """Worker: one metric-ablation run, returns (freshness, answered,
+    fresh-answer ratio)."""
+    settings = job.settings
+    runtime = build_simulation(
+        job.trace, job.catalog, scheme="hdr",
+        num_caching_nodes=settings.num_caching_nodes, rates=job.rates,
+        seed=job.seed, with_queries=True, ncl_metric=job.metric,
+        refresh_jitter=settings.refresh_jitter,
+    )
+    runtime.install_freshness_probe(
+        interval=settings.probe_interval, until=settings.duration
+    )
+    schedule_queries(
+        runtime,
+        rate_per_node=settings.query_rate,
+        duration=settings.duration,
+        rng=np.random.default_rng(job.seed * 7919 + 17),
+        popularity=ZipfPopularity(job.catalog.item_ids, s=settings.zipf_exponent),
+    )
+    runtime.run(until=settings.duration)
+    fresh = freshness_summary(
+        runtime, t0=settings.warmup_fraction * settings.duration
+    )
+    outcomes = judge_queries(runtime.query_records(), runtime.history, job.catalog)
+    return fresh.freshness, outcomes.answer_ratio, outcomes.fresh_ratio
+
+
+def run(settings: Optional[Settings] = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Run the experiment and return its formatted table + raw data."""
     settings = settings or Settings()
     rows = []
@@ -47,37 +89,24 @@ def run(settings: Optional[Settings] = None) -> ExperimentResult:
         name: {"freshness": [], "answered": [], "fresh_answers": []}
         for name in METRICS
     }
-    for seed in settings.seeds:
-        trace = make_trace(settings, seed)
-        catalog = make_catalog(settings, choose_sources(trace, settings))
-        for metric in METRICS:
-            runtime = build_simulation(
-                trace, catalog, scheme="hdr",
-                num_caching_nodes=settings.num_caching_nodes, seed=seed,
-                with_queries=True, ncl_metric=metric,
-                refresh_jitter=settings.refresh_jitter,
-            )
-            runtime.install_freshness_probe(
-                interval=settings.probe_interval, until=settings.duration
-            )
-            schedule_queries(
-                runtime,
-                rate_per_node=settings.query_rate,
-                duration=settings.duration,
-                rng=np.random.default_rng(seed * 7919 + 17),
-                popularity=ZipfPopularity(catalog.item_ids,
-                                          s=settings.zipf_exponent),
-            )
-            runtime.run(until=settings.duration)
-            fresh = freshness_summary(
-                runtime, t0=settings.warmup_fraction * settings.duration
-            )
-            outcomes = judge_queries(
-                runtime.query_records(), runtime.history, catalog
-            )
-            collected[metric]["freshness"].append(fresh.freshness)
-            collected[metric]["answered"].append(outcomes.answer_ratio)
-            collected[metric]["fresh_answers"].append(outcomes.fresh_ratio)
+    per_seed = {seed: seed_artifacts(settings, seed) for seed in settings.seeds}
+    catalogs = {
+        seed: make_catalog(settings, art.sources(settings.num_sources))
+        for seed, art in per_seed.items()
+    }
+    specs = [
+        _MetricJob(
+            metric=metric, seed=seed, settings=settings,
+            trace=per_seed[seed].trace, rates=per_seed[seed].rates,
+            catalog=catalogs[seed],
+        )
+        for seed in settings.seeds
+        for metric in METRICS
+    ]
+    for spec, outcome in zip(specs, run_tasks(_metric_job, specs, jobs=jobs)):
+        collected[spec.metric]["freshness"].append(outcome[0])
+        collected[spec.metric]["answered"].append(outcome[1])
+        collected[spec.metric]["fresh_answers"].append(outcome[2])
     for metric in METRICS:
         bucket = collected[metric]
         row = {

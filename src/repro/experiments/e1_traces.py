@@ -19,7 +19,8 @@ from repro.mobility.calibration import get_profile
 TITLE = "Trace statistics (synthetic stand-ins calibrated to CRAWDAD traces)"
 
 
-def run(settings: Optional[Settings] = None) -> ExperimentResult:
+def run(settings: Optional[Settings] = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Run the experiment and return its formatted table + raw data."""
     settings = settings or Settings()
     profiles = ["reality", "infocom06"] if settings.profile != "small" else ["small"]

@@ -29,7 +29,8 @@ TITLE = "Inter-contact time CCDF (pair-normalised) vs exponential fit"
 GRID = [0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0]
 
 
-def run(settings: Optional[Settings] = None) -> ExperimentResult:
+def run(settings: Optional[Settings] = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Run the experiment and return its formatted table + raw data."""
     settings = settings or Settings()
     profiles = ["reality", "infocom06"] if settings.profile != "small" else ["small"]

@@ -25,7 +25,8 @@ TITLE = "Cache freshness ratio vs time (one realisation, all schemes)"
 NUM_POINTS = 12
 
 
-def run(settings: Optional[Settings] = None) -> ExperimentResult:
+def run(settings: Optional[Settings] = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Run the experiment and return its formatted table + raw data."""
     settings = settings or Settings()
     seed = settings.seeds[0]

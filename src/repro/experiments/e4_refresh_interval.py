@@ -13,7 +13,8 @@ from typing import Optional
 from repro.analysis.aggregate import summarize
 from repro.analysis.tables import format_series
 from repro.experiments.config import HOUR, Settings
-from repro.experiments.runner import ExperimentResult, run_replicated
+from repro.experiments.parallel import SweepPoint, run_sweep
+from repro.experiments.runner import ExperimentResult
 
 TITLE = "Time-averaged cache freshness vs refresh interval"
 
@@ -22,15 +23,21 @@ INTERVALS_H = [6.0, 12.0, 24.0, 48.0, 72.0]
 FAST_INTERVALS_H = [2.0, 6.0, 12.0]
 
 
-def run(settings: Optional[Settings] = None) -> ExperimentResult:
+def run(settings: Optional[Settings] = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Run the experiment and return its formatted table + raw data."""
     settings = settings or Settings()
     intervals = FAST_INTERVALS_H if settings.profile == "small" else INTERVALS_H
     series: dict[str, list[float]] = {name: [] for name in SCHEMES}
     spread: dict[str, list[float]] = {name: [] for name in SCHEMES}
-    for hours in intervals:
-        sweep_settings = settings.with_(refresh_interval=hours * HOUR)
-        results = run_replicated(SCHEMES, sweep_settings)
+    points = [
+        SweepPoint(
+            settings=settings.with_(refresh_interval=hours * HOUR),
+            schemes=tuple(SCHEMES),
+        )
+        for hours in intervals
+    ]
+    for results in run_sweep(points, jobs=jobs):
         for name in SCHEMES:
             summary = summarize([m.freshness for m in results[name]])
             series[name].append(round(summary.mean, 4))

@@ -29,13 +29,13 @@ from repro.analysis.aggregate import summarize
 from repro.analysis.tables import format_series
 from repro.core.scheme import build_simulation, scheme_variant
 from repro.experiments.config import Settings
+from repro.experiments.parallel import SweepPoint, run_sweep
 from repro.experiments.runner import (
     ExperimentResult,
     analytic_on_time,
     choose_sources,
     make_catalog,
     make_trace,
-    run_replicated,
 )
 
 TITLE = "Achieved refresh ratio and access validity vs freshness requirement"
@@ -45,7 +45,8 @@ FAST_REQUIREMENTS = [0.5, 0.8, 0.95]
 HDR_HEADROOM_RELAYS = 16
 
 
-def run(settings: Optional[Settings] = None) -> ExperimentResult:
+def run(settings: Optional[Settings] = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Run the experiment and return its formatted table + raw data."""
     settings = settings or Settings()
     requirements = FAST_REQUIREMENTS if settings.profile == "small" else REQUIREMENTS
@@ -55,10 +56,16 @@ def run(settings: Optional[Settings] = None) -> ExperimentResult:
     on_time: dict[str, list[float]] = {name: [] for name in schemes}
     planned: list[float] = []
     query_fresh: dict[str, list[float]] = {name: [] for name in schemes}
-    for p_req in requirements:
+    points = [
+        SweepPoint(
+            settings=settings.with_(freshness_requirement=p_req),
+            schemes=tuple(schemes.values()),
+            with_queries=True,
+        )
+        for p_req in requirements
+    ]
+    for p_req, results in zip(requirements, run_sweep(points, jobs=jobs)):
         sweep_settings = settings.with_(freshness_requirement=p_req)
-        results = run_replicated(list(schemes.values()), sweep_settings,
-                                 with_queries=True)
         for name in schemes:
             on_time[name].append(
                 round(summarize([m.on_time_ratio for m in results[name]]).mean, 4)

@@ -56,10 +56,11 @@ def _load_profile(settings: Settings, scheme: str) -> tuple[float, float]:
     return by_source / load.total, load.gini
 
 
-def run(settings: Optional[Settings] = None) -> ExperimentResult:
+def run(settings: Optional[Settings] = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Run the experiment and return its formatted table + raw data."""
     settings = settings or Settings()
-    results = run_replicated(COMPARISON_ORDER, settings)
+    results = run_replicated(COMPARISON_ORDER, settings, jobs=jobs)
     flooding_msgs = summarize([m.messages for m in results["flooding"]]).mean
     rows = []
     data = {}

@@ -14,7 +14,8 @@ from typing import Optional
 from repro.analysis.aggregate import summarize
 from repro.analysis.tables import format_series
 from repro.experiments.config import Settings
-from repro.experiments.runner import ExperimentResult, run_replicated
+from repro.experiments.parallel import SweepPoint, run_sweep
+from repro.experiments.runner import ExperimentResult
 
 TITLE = "Time-averaged cache freshness vs number of caching nodes"
 
@@ -23,14 +24,19 @@ COUNTS = [4, 8, 12, 16, 20, 24]
 FAST_COUNTS = [3, 5, 8]
 
 
-def run(settings: Optional[Settings] = None) -> ExperimentResult:
+def run(settings: Optional[Settings] = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Run the experiment and return its formatted table + raw data."""
     settings = settings or Settings()
     counts = FAST_COUNTS if settings.profile == "small" else COUNTS
     freshness: dict[str, list[float]] = {name: [] for name in SCHEMES}
     overhead: dict[str, list[float]] = {name: [] for name in SCHEMES}
-    for count in counts:
-        results = run_replicated(SCHEMES, settings, num_caching_nodes=count)
+    points = [
+        SweepPoint(settings=settings, schemes=tuple(SCHEMES),
+                   num_caching_nodes=count)
+        for count in counts
+    ]
+    for results in run_sweep(points, jobs=jobs):
         for name in SCHEMES:
             freshness[name].append(
                 round(summarize([m.freshness for m in results[name]]).mean, 4)

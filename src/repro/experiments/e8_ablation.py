@@ -20,13 +20,13 @@ from repro.analysis.aggregate import summarize
 from repro.analysis.tables import format_table
 from repro.core.scheme import build_simulation, scheme_variant
 from repro.experiments.config import Settings
+from repro.experiments.parallel import SweepPoint, run_sweep
 from repro.experiments.runner import (
     ExperimentResult,
     analytic_on_time,
     choose_sources,
     make_catalog,
     make_trace,
-    run_replicated,
 )
 
 TITLE = "Ablations: assignment, hierarchy, relay budget, depth budget"
@@ -52,21 +52,44 @@ def _comparison_rows(results, names) -> list[dict]:
     return rows
 
 
-def run(settings: Optional[Settings] = None) -> ExperimentResult:
+def run(settings: Optional[Settings] = None,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Run the experiment and return its formatted table + raw data."""
     settings = settings or Settings()
     fast = settings.profile == "small"
+    budgets = FAST_RELAY_BUDGETS if fast else RELAY_BUDGETS
+    depths = FAST_DEPTHS if fast else DEPTHS
 
-    # A: assignment ablation.
-    results_a = run_replicated(["hdr", "random"], settings)
+    budget_variants = [
+        scheme_variant("hdr", max_relays=budget, name=f"hdr-k{budget}")
+        for budget in budgets
+    ]
+    depth_variants = [
+        scheme_variant("hdr", structure="star", max_depth=1, name="hdr-d1")
+        if depth == 1
+        else scheme_variant("hdr", max_depth=depth, name=f"hdr-d{depth}")
+        for depth in depths
+    ]
+
+    # All four sub-studies fan out as one batch of independent jobs:
+    # point 0 is A (assignment), point 1 is B (hierarchy), then one
+    # point per relay budget (C) and one per depth (D).
+    points = [
+        SweepPoint(settings=settings, schemes=("hdr", "random")),
+        SweepPoint(settings=settings, schemes=("hdr", "flat")),
+    ]
+    points += [SweepPoint(settings=settings, schemes=(v,)) for v in budget_variants]
+    points += [SweepPoint(settings=settings, schemes=(v,)) for v in depth_variants]
+    swept = run_sweep(points, jobs=jobs)
+    results_a, results_b = swept[0], swept[1]
+    swept_c = swept[2 : 2 + len(budgets)]
+    swept_d = swept[2 + len(budgets) :]
+
     table_a = format_table(
         _comparison_rows(results_a, ["hdr", "random"]),
         title="A. rate-aware vs random assignment",
         precision=3,
     )
-
-    # B: hierarchy ablation.
-    results_b = run_replicated(["hdr", "flat"], settings)
     table_b = format_table(
         _comparison_rows(results_b, ["hdr", "flat"]),
         title="B. hierarchy (tree) vs flat (star)",
@@ -74,12 +97,9 @@ def run(settings: Optional[Settings] = None) -> ExperimentResult:
     )
 
     # C: relay budget sweep, empirical vs analytical.
-    budgets = FAST_RELAY_BUDGETS if fast else RELAY_BUDGETS
     rows_c = []
     data_c = {}
-    for budget in budgets:
-        variant = scheme_variant("hdr", max_relays=budget, name=f"hdr-k{budget}")
-        results = run_replicated([variant], settings)
+    for budget, variant, results in zip(budgets, budget_variants, swept_c):
         runs = results[variant.name]
         # Analytical prediction from one representative build.
         trace = make_trace(settings, settings.seeds[0])
@@ -102,15 +122,8 @@ def run(settings: Optional[Settings] = None) -> ExperimentResult:
     table_c = format_table(rows_c, title="C. relay budget sweep (hdr)", precision=3)
 
     # D: depth budget sweep.
-    depths = FAST_DEPTHS if fast else DEPTHS
     rows_d = []
-    for depth in depths:
-        if depth == 1:
-            variant = scheme_variant("hdr", structure="star", max_depth=1,
-                                     name="hdr-d1")
-        else:
-            variant = scheme_variant("hdr", max_depth=depth, name=f"hdr-d{depth}")
-        results = run_replicated([variant], settings)
+    for depth, variant, results in zip(depths, depth_variants, swept_d):
         runs = results[variant.name]
         rows_d.append(
             {

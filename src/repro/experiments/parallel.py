@@ -1,0 +1,196 @@
+"""Parallel experiment execution.
+
+Every experiment decomposes into independent ``(seed, scheme,
+sweep-point)`` simulation jobs -- the classic embarrassingly-parallel
+sweep.  This module fans those jobs out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` while keeping the
+output **byte-identical to serial execution**:
+
+* each job is a picklable spec executed by a module-level function, so
+  a worker computes exactly what the serial loop would have computed;
+* job ids enumerate the serial iteration order, and results are merged
+  in job-id order (``ProcessPoolExecutor.map`` preserves input order),
+  so the merged structure is indistinguishable from the serial one;
+* all randomness is derived from seeds carried inside the specs --
+  nothing depends on scheduling order or worker identity.
+
+Worker count resolution (:func:`resolve_jobs`): an explicit ``jobs``
+argument wins, then the ``REPRO_JOBS`` environment variable, then the
+serial default of 1.  ``jobs=1`` bypasses the pool entirely -- no
+subprocess, no pickling, just the plain loop.
+
+The per-seed artifacts (trace, MLE rates, centrality ranking) are
+computed once in the parent via :mod:`repro.experiments.artifacts` and
+shipped to the workers inside the job spec, so no worker ever
+regenerates a trace.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, TypeVar
+
+from repro.experiments.artifacts import SeedArtifacts, cache_put, seed_artifacts
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.caching.items import DataCatalog
+    from repro.core.scheme import SchemeConfig
+    from repro.experiments.config import Settings
+    from repro.experiments.runner import RunMetrics
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: environment variable consulted when no explicit worker count is given
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: ``jobs`` values meaning "one worker per CPU"
+_AUTO_VALUES = {"auto", "max", "0", "-1"}
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve the worker count: argument > ``$REPRO_JOBS`` > 1.
+
+    ``0``, ``-1`` or the strings ``auto``/``max`` (in the environment
+    variable) select one worker per available CPU.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip().lower()
+        if not raw:
+            return 1
+        if raw in _AUTO_VALUES:
+            return os.cpu_count() or 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"invalid {JOBS_ENV_VAR}={raw!r}: expected an integer or 'auto'"
+            ) from None
+    if jobs in (0, -1):
+        return os.cpu_count() or 1
+    if jobs < -1:
+        raise ValueError(f"invalid worker count {jobs}")
+    return int(jobs)
+
+
+def run_tasks(
+    fn: Callable[[T], R],
+    specs: Sequence[T],
+    jobs: Optional[int] = None,
+) -> list[R]:
+    """Apply a picklable ``fn`` to every spec, optionally in parallel.
+
+    The result list is in input order regardless of worker scheduling,
+    so a parallel run merges identically to the serial loop.  With a
+    resolved worker count of 1 (the default) the pool is bypassed
+    entirely.
+    """
+    workers = resolve_jobs(jobs)
+    specs = list(specs)
+    if workers <= 1 or len(specs) <= 1:
+        return [fn(spec) for spec in specs]
+    workers = min(workers, len(specs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, specs, chunksize=1))
+
+
+@dataclass(frozen=True)
+class Job:
+    """One picklable ``run_once`` invocation.
+
+    ``job_id`` enumerates the serial iteration order; the merge sorts by
+    it, which is what makes parallel output identical to serial.
+    """
+
+    job_id: int
+    #: index of the sweep point this job belongs to (0 for flat runs)
+    point: int
+    seed: int
+    scheme: "str | SchemeConfig"
+    settings: "Settings"
+    artifacts: SeedArtifacts
+    catalog: "DataCatalog"
+    with_queries: bool = False
+    num_caching_nodes: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep: which schemes to run under which settings."""
+
+    settings: "Settings"
+    schemes: tuple = ()
+    with_queries: bool = False
+    num_caching_nodes: Optional[int] = None
+
+
+def execute_job(job: Job) -> "RunMetrics":
+    """Run one job (in a worker or inline) and return its metrics."""
+    from repro.experiments.runner import run_once
+
+    # Seed the worker-local artifact cache so anything downstream that
+    # asks for this seed's artifacts reuses the shipped copy.
+    cache_put(job.artifacts)
+    return run_once(
+        job.artifacts.trace,
+        job.scheme,
+        job.settings,
+        seed=job.seed,
+        with_queries=job.with_queries,
+        catalog=job.catalog,
+        num_caching_nodes=job.num_caching_nodes,
+        rates=job.artifacts.rates,
+    )
+
+
+def build_jobs(points: Sequence[SweepPoint]) -> list[Job]:
+    """Expand sweep points into the serial-order job list.
+
+    Order is (point, seed, scheme) -- exactly the nesting of the serial
+    loops in ``run_replicated`` and the per-experiment sweeps.
+    """
+    from repro.experiments.runner import make_catalog
+
+    jobs: list[Job] = []
+    job_id = 0
+    for point_index, point in enumerate(points):
+        settings = point.settings
+        for seed in settings.seeds:
+            artifacts = seed_artifacts(settings, seed)
+            catalog = make_catalog(settings, artifacts.sources(settings.num_sources))
+            for scheme in point.schemes:
+                jobs.append(
+                    Job(
+                        job_id=job_id,
+                        point=point_index,
+                        seed=seed,
+                        scheme=scheme,
+                        settings=settings,
+                        artifacts=artifacts,
+                        catalog=catalog,
+                        with_queries=point.with_queries,
+                        num_caching_nodes=point.num_caching_nodes,
+                    )
+                )
+                job_id += 1
+    return jobs
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    jobs: Optional[int] = None,
+) -> list[dict[str, list["RunMetrics"]]]:
+    """Run every (point, seed, scheme) job; one result dict per point.
+
+    Each dict maps scheme name to the per-seed :class:`RunMetrics` list,
+    in seed order -- the exact structure ``run_replicated`` builds
+    serially.
+    """
+    specs = build_jobs(points)
+    metrics = run_tasks(execute_job, specs, jobs=jobs)
+    merged: list[dict[str, list["RunMetrics"]]] = [{} for _ in points]
+    for spec, result in zip(specs, metrics):
+        merged[spec.point].setdefault(result.scheme, []).append(result)
+    return merged

@@ -6,10 +6,19 @@ every metric the tables need into a :class:`RunMetrics`.
 own trace realisation, and all schemes of a seed share that trace and
 the same pre-scheduled query workload, the paper-style paired
 comparison.
+
+Replication fans out through :mod:`repro.experiments.parallel`: pass
+``jobs`` (or set ``REPRO_JOBS``) to run the independent (seed, scheme)
+simulations on a process pool; ``jobs=1`` is the serial fallback and
+parallel output is identical to it.  The per-seed trace, MLE rates and
+centrality ranking are computed once per seed and shared across all
+schemes via :mod:`repro.experiments.artifacts`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -18,10 +27,15 @@ import numpy as np
 from repro.analysis.metrics import freshness_summary, judge_queries, refresh_outcomes
 from repro.caching.items import DataCatalog
 from repro.contacts.centrality import contact_centrality, rank_nodes
-from repro.contacts.rates import mle_rates
+from repro.contacts.rates import RateTable, mle_rates
 from repro.core.scheme import SchemeConfig, build_simulation
+from repro.experiments.artifacts import (
+    SOURCE_RANKING_WINDOW,
+    artifacts_for_trace,
+    seed_artifacts,
+    sources_from_ranking,
+)
 from repro.experiments.config import Settings
-from repro.mobility.calibration import get_profile
 from repro.mobility.trace import ContactTrace
 from repro.workloads.popularity import ZipfPopularity
 from repro.workloads.queries import schedule_queries
@@ -45,6 +59,24 @@ class RunMetrics:
     query_valid_ratio: float = float("nan")
     query_validity_e2e: float = float("nan")
     query_delay: float = float("nan")
+
+    def same_as(self, other: "RunMetrics") -> bool:
+        """Exact field-by-field equality, treating NaN == NaN as true.
+
+        Plain dataclass ``==`` is always false for runs without queries
+        (the ``query_*`` fields default to NaN); this is the comparison
+        the parallel-vs-serial determinism guarantee is stated in.
+        """
+        if not isinstance(other, RunMetrics):
+            return NotImplemented
+        for mine, theirs in zip(dataclasses.astuple(self),
+                                dataclasses.astuple(other)):
+            if mine != theirs and not (
+                isinstance(mine, float) and isinstance(theirs, float)
+                and math.isnan(mine) and math.isnan(theirs)
+            ):
+                return False
+        return True
 
 
 @dataclass
@@ -88,9 +120,13 @@ def analytic_on_time(runtime) -> float:
 
 
 def make_trace(settings: Settings, seed: int) -> ContactTrace:
-    """One trace realisation of the settings' profile."""
-    rng = np.random.default_rng(seed)
-    return get_profile(settings.profile).generate(rng, duration=settings.duration)
+    """One trace realisation of the settings' profile.
+
+    Served from the per-seed artifact cache: repeated calls with the
+    same ``(profile, duration, seed)`` return the same (deterministic)
+    trace object without regenerating it.
+    """
+    return seed_artifacts(settings, seed).trace
 
 
 def choose_sources(trace: ContactTrace, settings: Settings) -> list[int]:
@@ -101,15 +137,16 @@ def choose_sources(trace: ContactTrace, settings: Settings) -> list[int]:
     nobody meets starves every scheme equally but mostly measures the
     trace, not the scheme).  Taking nodes from the middle of the
     centrality ranking is deterministic and portable across traces.
+
+    When ``trace`` came out of the artifact cache the cached centrality
+    ranking is reused; otherwise the ranking is derived here.
     """
+    artifacts = artifacts_for_trace(trace)
+    if artifacts is not None:
+        return artifacts.sources(settings.num_sources)
     rates = mle_rates(trace)
-    scores = contact_centrality(rates, window=6 * 3600.0)
-    ranked = rank_nodes(scores)
-    middle = len(ranked) // 2
-    picked = ranked[middle : middle + settings.num_sources]
-    if len(picked) < settings.num_sources:
-        picked = ranked[-settings.num_sources :]
-    return sorted(picked)
+    scores = contact_centrality(rates, window=SOURCE_RANKING_WINDOW)
+    return sources_from_ranking(tuple(rank_nodes(scores)), settings.num_sources)
 
 
 def make_catalog(settings: Settings, sources: Sequence[int]) -> DataCatalog:
@@ -131,8 +168,14 @@ def run_once(
     with_queries: bool = False,
     catalog: Optional[DataCatalog] = None,
     num_caching_nodes: Optional[int] = None,
+    rates: Optional[RateTable] = None,
 ) -> RunMetrics:
-    """Wire, run and score one simulation."""
+    """Wire, run and score one simulation.
+
+    ``rates`` short-circuits the whole-trace MLE estimation inside
+    :func:`build_simulation`; pass the cached per-seed estimate when the
+    same trace is run under several schemes.
+    """
     if catalog is None:
         catalog = make_catalog(settings, choose_sources(trace, settings))
     runtime = build_simulation(
@@ -140,16 +183,16 @@ def run_once(
         catalog,
         scheme=scheme,
         num_caching_nodes=num_caching_nodes or settings.num_caching_nodes,
+        rates=rates,
         seed=seed,
         with_queries=with_queries,
         refresh_jitter=settings.refresh_jitter,
     )
     horizon = settings.duration
     runtime.install_freshness_probe(interval=settings.probe_interval, until=horizon)
-    queries_scheduled = 0
     if with_queries:
         popularity = ZipfPopularity(catalog.item_ids, s=settings.zipf_exponent)
-        queries_scheduled = schedule_queries(
+        schedule_queries(
             runtime,
             rate_per_node=settings.query_rate,
             duration=horizon,
@@ -186,9 +229,6 @@ def run_once(
         metrics.query_valid_ratio = outcomes.valid_ratio
         metrics.query_validity_e2e = outcomes.end_to_end_validity
         metrics.query_delay = outcomes.mean_delay
-        if queries_scheduled and outcomes.issued != queries_scheduled:
-            # issue_query may add local-hit records; they are included.
-            pass
     return metrics
 
 
@@ -197,21 +237,20 @@ def run_replicated(
     settings: Settings,
     with_queries: bool = False,
     num_caching_nodes: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> dict[str, list[RunMetrics]]:
-    """Run every scheme on every seed's trace; paired across schemes."""
-    results: dict[str, list[RunMetrics]] = {}
-    for seed in settings.seeds:
-        trace = make_trace(settings, seed)
-        catalog = make_catalog(settings, choose_sources(trace, settings))
-        for scheme in schemes:
-            metrics = run_once(
-                trace,
-                scheme,
-                settings,
-                seed=seed,
-                with_queries=with_queries,
-                catalog=catalog,
-                num_caching_nodes=num_caching_nodes,
-            )
-            results.setdefault(metrics.scheme, []).append(metrics)
-    return results
+    """Run every scheme on every seed's trace; paired across schemes.
+
+    ``jobs`` selects the worker count (``None`` falls back to
+    ``$REPRO_JOBS``, then serial); any parallel run merges to exactly
+    the structure the serial loop builds.
+    """
+    from repro.experiments.parallel import SweepPoint, run_sweep
+
+    point = SweepPoint(
+        settings=settings,
+        schemes=tuple(schemes),
+        with_queries=with_queries,
+        num_caching_nodes=num_caching_nodes,
+    )
+    return run_sweep([point], jobs=jobs)[0]

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
@@ -22,21 +21,62 @@ class SimulationError(RuntimeError):
     """Raised for invalid engine usage (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
     Events compare by ``(time, priority, seq)`` so the heap pops them
     deterministically.  ``cancelled`` events stay in the heap but are
     skipped when popped (lazy deletion).
+
+    The heap itself stores ``(time, priority, seq, event)`` tuples so
+    the run loop's comparisons are C-level tuple compares; the ordering
+    methods here exist for API compatibility and match the tuple order
+    exactly (``seq`` is unique, so the comparison never goes past it).
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple = (),
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Event") -> bool:
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "Event") -> bool:
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "Event") -> bool:
+        return self.sort_key() >= other.sort_key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.sort_key() == other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Event(t={self.time}, priority={self.priority}, seq={self.seq}, "
+            f"cancelled={self.cancelled})"
+        )
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
@@ -55,7 +95,9 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: list[Event] = []
+        #: heap of (time, priority, seq, Event) -- tuple entries keep the
+        #: hottest comparison in the run loop a single C-level compare
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
         self._events_executed = 0
@@ -92,8 +134,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time:.6f}, now is t={self._now:.6f}"
             )
-        event = Event(float(time), priority, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(float(time), priority, seq, callback, args)
+        heapq.heappush(self._heap, (event.time, priority, seq, event))
         return event
 
     def schedule_after(
@@ -119,16 +162,18 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        heap = self._heap
+        heappop = heapq.heappop
         try:
             executed = 0
-            while self._heap:
-                event = self._heap[0]
-                if until is not None and event.time > until:
+            while heap:
+                time = heap[0][0]
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._heap)
+                event = heappop(heap)[3]
                 if event.cancelled:
                     continue
-                self._now = event.time
+                self._now = time
                 event.callback(*event.args)
                 self._events_executed += 1
                 executed += 1
@@ -146,7 +191,7 @@ class Simulator:
         Returns ``True`` if an event ran, ``False`` if the heap is empty.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[3]
             if event.cancelled:
                 continue
             self._now = event.time
@@ -157,6 +202,6 @@ class Simulator:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, or ``None`` if drained."""
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Iterable, Optional
 from repro.sim.engine import Simulator
 from repro.sim.messages import Message
 from repro.sim.node import Node
-from repro.sim.stats import StatsRegistry
+from repro.sim.stats import Counter, StatsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mobility.trace import Contact
@@ -40,6 +40,14 @@ class LinkModel:
     def contact_opened(self, a: int, b: int, duration: float) -> None:
         """Hook: a contact between ``a`` and ``b`` opened."""
 
+    def contact_closed(self, a: int, b: int) -> None:
+        """Hook: the contact between ``a`` and ``b`` closed.
+
+        May be invoked for contacts that never opened (e.g. an endpoint
+        was offline) and more than once per contact; implementations
+        must tolerate both.
+        """
+
     def admits(self, message: Message, a: int, b: int) -> bool:
         """True if ``message`` may be transferred on the (a, b) contact."""
         return True
@@ -52,8 +60,9 @@ class BandwidthLimitedLink(LinkModel):
     """Per-contact byte budget: ``bandwidth_bps * duration`` bytes.
 
     Models short contacts that cannot carry unbounded data.  Budgets are
-    tracked per unordered node pair and reset whenever a new contact
-    between the pair opens.
+    tracked per unordered node pair while a contact is open and released
+    when it closes, so long traces do not grow the table unboundedly and
+    a stale budget can never leak into the pair's next contact.
     """
 
     def __init__(self, bandwidth_bps: float) -> None:
@@ -66,8 +75,16 @@ class BandwidthLimitedLink(LinkModel):
     def _key(a: int, b: int) -> tuple[int, int]:
         return (a, b) if a <= b else (b, a)
 
+    @property
+    def open_budgets(self) -> int:
+        """Number of pairs currently holding a budget entry."""
+        return len(self._budget)
+
     def contact_opened(self, a: int, b: int, duration: float) -> None:
         self._budget[self._key(a, b)] = self.bandwidth_bps * duration / 8.0
+
+    def contact_closed(self, a: int, b: int) -> None:
+        self._budget.pop(self._key(a, b), None)
 
     def admits(self, message: Message, a: int, b: int) -> bool:
         return self._budget.get(self._key(a, b), 0.0) >= message.size
@@ -107,6 +124,21 @@ class ContactNetwork:
         self.record_transfers = record_transfers
         self.transfers: list[TransferRecord] = []
         self._started = False
+        # Cached counter handles for the transfer hot path: one registry
+        # lookup at wiring time instead of a dict lookup (plus an f-string
+        # format for the per-kind counter) on every transfer.
+        self._c_rejected_no_contact = self.stats.counter(
+            "net.transfer_rejected_no_contact"
+        )
+        self._c_rejected_expired = self.stats.counter("net.transfer_rejected_expired")
+        self._c_rejected_bandwidth = self.stats.counter(
+            "net.transfer_rejected_bandwidth"
+        )
+        self._c_transfers = self.stats.counter("net.transfers")
+        self._c_bytes = self.stats.counter("net.bytes")
+        self._c_contacts = self.stats.counter("net.contacts")
+        self._c_contacts_skipped = self.stats.counter("net.contacts_skipped_offline")
+        self._kind_counters: dict[str, Counter] = {}
         for node in self.nodes.values():
             node.network = self
         self._schedule_trace(contacts)
@@ -152,10 +184,10 @@ class ContactNetwork:
     def _contact_start(self, a: int, b: int, duration: float) -> None:
         node_a, node_b = self.nodes[a], self.nodes[b]
         if not (node_a.online and node_b.online):
-            self.stats.counter("net.contacts_skipped_offline").add(1)
+            self._c_contacts_skipped.add(1)
             return
         self.link_model.contact_opened(a, b, duration)
-        self.stats.counter("net.contacts").add(1)
+        self._c_contacts.add(1)
         node_a.contact_started(node_b)
         node_b.contact_started(node_a)
 
@@ -166,6 +198,7 @@ class ContactNetwork:
             node_a.contact_ended(node_b)
         if node_b.in_contact_with(a):
             node_b.contact_ended(node_a)
+        self.link_model.contact_closed(a, b)
 
     def set_online(self, node_id: int, online: bool) -> None:
         """Take a node offline (closing its open contacts) or bring it back."""
@@ -178,6 +211,7 @@ class ContactNetwork:
                 peer = self.nodes[peer_id]
                 node.contact_ended(peer)
                 peer.contact_ended(node)
+                self.link_model.contact_closed(node_id, peer_id)
             self.stats.counter("net.nodes_went_offline").add(1)
         else:
             self.stats.counter("net.nodes_came_online").add(1)
@@ -193,19 +227,23 @@ class ContactNetwork:
         TTL expired) are counted and dropped.
         """
         if not sender.in_contact_with(receiver.node_id):
-            self.stats.counter("net.transfer_rejected_no_contact").add(1)
+            self._c_rejected_no_contact.add(1)
             return False
         if message.expired(self.sim.now):
-            self.stats.counter("net.transfer_rejected_expired").add(1)
+            self._c_rejected_expired.add(1)
             return False
         if not self.link_model.admits(message, sender.node_id, receiver.node_id):
-            self.stats.counter("net.transfer_rejected_bandwidth").add(1)
+            self._c_rejected_bandwidth.add(1)
             return False
         self.link_model.charge(message, sender.node_id, receiver.node_id)
         message.hop_count += 1
-        self.stats.counter("net.transfers").add(1)
-        self.stats.counter(f"net.transfers.{message.kind}").add(1)
-        self.stats.counter("net.bytes").add(message.size)
+        self._c_transfers.add(1)
+        kind_counter = self._kind_counters.get(message.kind)
+        if kind_counter is None:
+            kind_counter = self.stats.counter(f"net.transfers.{message.kind}")
+            self._kind_counters[message.kind] = kind_counter
+        kind_counter.add(1)
+        self._c_bytes.add(message.size)
         if self.record_transfers:
             self.transfers.append(
                 TransferRecord(

@@ -117,19 +117,22 @@ class StatsRegistry:
         self._tallies: dict[str, Tally] = {}
 
     def counter(self, name: str) -> Counter:
-        if name not in self._counters:
-            self._counters[name] = Counter(name)
-        return self._counters[name]
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
 
     def series(self, name: str) -> TimeSeries:
-        if name not in self._series:
-            self._series[name] = TimeSeries(name)
-        return self._series[name]
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = TimeSeries(name)
+        return series
 
     def tally(self, name: str) -> Tally:
-        if name not in self._tallies:
-            self._tallies[name] = Tally(name)
-        return self._tallies[name]
+        tally = self._tallies.get(name)
+        if tally is None:
+            tally = self._tallies[name] = Tally(name)
+        return tally
 
     def counter_value(self, name: str, default: float = 0.0) -> float:
         """Read a counter without creating it."""

@@ -187,3 +187,61 @@ class TestEventDataclass:
         a = Event(1.0, 0, 0, lambda: None)
         b = Event(1.0, 0, 1, print)
         assert a < b
+
+
+class TestHeapOrderEquivalence:
+    """The tuple-entry heap must pop in exactly the order the old
+    ``@dataclass(order=True)`` event heap did."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+                st.integers(min_value=-3, max_value=3),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=150,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pop_order_matches_legacy_dataclass_heap(self, specs):
+        import heapq
+        from dataclasses import dataclass, field
+        from typing import Callable
+
+        @dataclass(order=True)
+        class LegacyEvent:  # the seed engine's heap entry, verbatim
+            time: float
+            priority: int
+            seq: int
+            callback: Callable[..., None] = field(compare=False)
+            args: tuple = field(compare=False, default=())
+            cancelled: bool = field(compare=False, default=False)
+
+        legacy_heap = []
+        cancelled_seqs = set()
+        sim = Simulator()
+        current_order = []
+
+        def record(event):
+            current_order.append(event.sort_key())
+
+        for seq, (time, priority, cancel) in enumerate(specs):
+            heapq.heappush(
+                legacy_heap, LegacyEvent(time, priority, seq, lambda: None)
+            )
+            event = sim.schedule_at(time, record, priority=priority)
+            event.args = (event,)
+            if cancel:
+                cancelled_seqs.add(seq)
+                event.cancel()
+
+        legacy_order = []
+        while legacy_heap:
+            legacy = heapq.heappop(legacy_heap)
+            if legacy.seq not in cancelled_seqs:
+                legacy_order.append((legacy.time, legacy.priority, legacy.seq))
+        sim.run()
+
+        assert current_order == legacy_order

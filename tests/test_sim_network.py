@@ -163,3 +163,45 @@ class TestBandwidthLimitedLink:
 
         with pytest.raises(ValueError):
             BandwidthLimitedLink(0.0)
+
+
+class TestBandwidthBudgetRelease:
+    """Per-pair budgets must be dropped when the contact closes, not
+    accumulate for the lifetime of the simulation."""
+
+    def test_budget_released_after_contact_end(self):
+        link = BandwidthLimitedLink(bandwidth_bps=800.0)
+        net = build_network(pair_trace(), link_model=link)
+        net.start()
+        net.sim.run(until=15.0)
+        assert link.open_budgets == 1
+        net.sim.run(until=25.0)
+        assert link.open_budgets == 0
+
+    def test_budget_released_when_node_goes_offline(self):
+        link = BandwidthLimitedLink(bandwidth_bps=800.0)
+        net = build_network(pair_trace(), link_model=link)
+        net.start()
+        net.sim.run(until=15.0)
+        assert link.open_budgets == 1
+        net.set_online(0, False)
+        assert link.open_budgets == 0
+
+    def test_no_leak_across_many_contacts(self):
+        link = BandwidthLimitedLink(bandwidth_bps=800.0)
+        contacts = [
+            Contact.make(0, 1, float(10 * i), float(10 * i + 5))
+            for i in range(20)
+        ]
+        net = build_network(
+            ContactTrace(contacts, node_ids=[0, 1]), link_model=link
+        )
+        net.start()
+        net.sim.run()
+        assert link.open_budgets == 0
+
+    def test_contact_closed_tolerates_unknown_pair(self):
+        link = BandwidthLimitedLink(bandwidth_bps=800.0)
+        link.contact_closed(7, 9)  # never opened: must be a no-op
+        link.contact_closed(7, 9)  # and idempotent
+        assert link.open_budgets == 0
