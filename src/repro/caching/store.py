@@ -14,9 +14,15 @@ cache-pressure ablation.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+import math
+from typing import Callable, Optional
 
 from repro.caching.items import CacheEntry, DataItem
+
+#: Signature of a store change listener: ``(item_id, old, new, now)``.
+#: ``old``/``new`` are ``None`` for inserts/removals respectively; ``now``
+#: is NaN for removals that carry no timestamp (:meth:`CacheStore.remove`).
+ChangeListener = Callable[[int, Optional[CacheEntry], Optional[CacheEntry], float], None]
 
 
 class EvictionPolicy(enum.Enum):
@@ -41,6 +47,11 @@ class CacheStore:
         self.policy = policy
         self._entries: dict[int, CacheEntry] = {}
         self.evictions = 0
+        #: Optional hook fired on every entry mutation (insert, upgrade,
+        #: eviction, removal).  All mutations flow through this class, so
+        #: a listener sees the store's exact contents incrementally --
+        #: the freshness accountant keys off this.
+        self.change_listener: Optional[ChangeListener] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -80,14 +91,21 @@ class CacheStore:
             entry.access_count = current.access_count
             entry.last_access = current.last_access
             self._entries[entry.item_id] = entry
+            if self.change_listener is not None:
+                self.change_listener(entry.item_id, current, entry, now)
             return True
         if self.capacity is not None and len(self._entries) >= self.capacity:
             self._evict(now)
         self._entries[entry.item_id] = entry
+        if self.change_listener is not None:
+            self.change_listener(entry.item_id, None, entry, now)
         return True
 
     def remove(self, item_id: int) -> bool:
-        return self._entries.pop(item_id, None) is not None
+        old = self._entries.pop(item_id, None)
+        if old is not None and self.change_listener is not None:
+            self.change_listener(item_id, old, None, math.nan)
+        return old is not None
 
     def drop_expired(self, now: float, items: dict[int, DataItem]) -> int:
         """Remove entries whose version has expired; returns the count."""
@@ -97,7 +115,9 @@ class CacheStore:
             if item_id in items and entry.expired(now, items[item_id])
         ]
         for item_id in dead:
-            del self._entries[item_id]
+            old = self._entries.pop(item_id)
+            if self.change_listener is not None:
+                self.change_listener(item_id, old, None, now)
         return len(dead)
 
     def _evict(self, now: float) -> None:
@@ -115,3 +135,5 @@ class CacheStore:
             )
         del self._entries[victim.item_id]
         self.evictions += 1
+        if self.change_listener is not None:
+            self.change_listener(victim.item_id, victim, None, now)

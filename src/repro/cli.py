@@ -8,7 +8,8 @@
     repro trace-stats reality         # statistics of a calibrated profile
     repro analyze-trace contacts.txt  # stats/centrality of a real trace file
     repro simulate --scheme hdr ...   # one ad-hoc simulation run
-    repro bench [-o BENCH.json]       # engine + parallel-sweep benchmarks
+    repro bench [-o BENCH.json]       # engine/sweep/scheme/trace-gen benchmarks
+    repro profile [--scheme hdr]      # cProfile one reference simulation
 """
 
 from __future__ import annotations
@@ -138,20 +139,68 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.experiments.bench import run_benchmarks
+    from repro.experiments.bench import check_engine_regression, run_benchmarks
 
     if _resolve_jobs_or_complain(args.jobs) is None:
         return 2
-    report = run_benchmarks(jobs=args.jobs, path=args.output)
+    report = run_benchmarks(jobs=args.jobs, path=args.output, quick=args.quick)
     engine = report["engine"]
-    sweep = report["sweep"]
-    print(f"engine : {engine['events_per_sec']:,.0f} events/s "
+    print(f"engine    : {engine['events_per_sec']:,.0f} events/s "
           f"(legacy {engine['legacy_events_per_sec']:,.0f}, "
           f"{engine['improvement_pct']:+.1f}%)")
-    print(f"sweep  : serial {sweep['serial_seconds']:.2f}s, "
-          f"jobs={sweep['jobs']} {sweep['parallel_seconds']:.2f}s "
-          f"({sweep['speedup']:.2f}x on {sweep['cpus']} cpu(s))")
+    sweep = report["sweep"]
+    if "skipped" in sweep:
+        print(f"sweep     : skipped ({sweep['skipped']})")
+    else:
+        print(f"sweep     : serial {sweep['serial_seconds']:.2f}s, "
+              f"jobs={sweep['jobs']} {sweep['parallel_seconds']:.2f}s "
+              f"({sweep['speedup']:.2f}x on {sweep['cpus']} cpu(s))")
+    scheme = report["scheme"]
+    print(f"scheme    : optimised {scheme['optimised_seconds']:.2f}s, "
+          f"legacy {scheme['legacy_seconds']:.2f}s "
+          f"({scheme['speedup']:.2f}x, identical={scheme['identical']})")
+    for name, row in report["trace_gen"]["profiles"].items():
+        print(f"trace_gen : {name}: vectorised {row['vectorised_seconds']:.2f}s, "
+              f"scalar {row['scalar_seconds']:.2f}s "
+              f"({row['speedup']:.2f}x, identical={row['identical']})")
     print(f"wrote {args.output}")
+    status = 0
+    if args.check_baseline is not None:
+        ok, message = check_engine_regression(report, args.check_baseline)
+        print(("ok  : " if ok else "FAIL: ") + message)
+        if not ok:
+            status = 1
+    if not report["scheme"]["identical"]:
+        print("FAIL: scheme benchmark diverged from the legacy paths")
+        status = 1
+    if any(not row["identical"]
+           for row in report["trace_gen"]["profiles"].values()):
+        print("FAIL: vectorised trace generation diverged from scalar")
+        status = 1
+    return status
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    from repro.experiments.bench import reference_settings
+    from repro.experiments.runner import make_trace, run_once
+
+    settings = reference_settings(quick=args.quick)
+    seed = settings.seeds[0]
+    trace = make_trace(settings, seed)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    metrics = run_once(trace, args.scheme, settings, seed=seed)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    print(f"scheme={metrics.scheme} freshness={metrics.freshness:.4f} "
+          f"messages={metrics.messages:.0f}")
+    if args.output:
+        profiler.dump_stats(args.output)
+        print(f"wrote {args.output} (open with pstats or snakeviz)")
     return 0
 
 
@@ -200,7 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--seed", type=int, default=1)
 
     bench_parser = sub.add_parser(
-        "bench", help="engine events/sec + parallel-sweep wall-clock"
+        "bench", help="engine/sweep/scheme/trace-gen benchmarks"
     )
     bench_parser.add_argument("--jobs", "-j", type=int, default=4,
                               help="worker processes for the sweep half")
@@ -208,6 +257,24 @@ def build_parser() -> argparse.ArgumentParser:
                               default="BENCH_runner.json",
                               help="JSON report path (default: "
                               "BENCH_runner.json)")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="shrunken workloads for CI smoke runs")
+    bench_parser.add_argument("--check-baseline", metavar="FILE", default=None,
+                              help="fail (exit 1) if engine events/sec drops "
+                              ">30%% below this committed report")
+
+    profile_parser = sub.add_parser(
+        "profile", help="cProfile one reference-scenario simulation run"
+    )
+    profile_parser.add_argument("--scheme", default="hdr")
+    profile_parser.add_argument("--sort", default="cumulative",
+                                choices=["cumulative", "tottime", "calls"])
+    profile_parser.add_argument("--top", type=int, default=25,
+                                help="rows of the stats table to print")
+    profile_parser.add_argument("--quick", action="store_true",
+                                help="smaller scenario (2 seeds, 3 days)")
+    profile_parser.add_argument("--output", "-o", metavar="FILE", default=None,
+                                help="also dump raw pstats data to FILE")
     return parser
 
 
@@ -220,6 +287,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze-trace": _cmd_analyze_trace,
         "simulate": _cmd_simulate,
         "bench": _cmd_bench,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -28,6 +28,7 @@ refresh delays and on-time ratios.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
@@ -35,6 +36,7 @@ import numpy as np
 
 from repro.caching.items import CacheEntry, DataCatalog, DataItem, VersionHistory
 from repro.caching.store import CacheStore
+from repro.core import accounting
 from repro.sim.messages import Message
 from repro.sim.node import Node, ProtocolHandler
 from repro.sim.stats import StatsRegistry
@@ -65,11 +67,18 @@ class RefreshUpdate:
 
 @dataclass
 class _PendingRefresh:
-    """A version this node must still deliver to one target."""
+    """A version this node must still deliver to one target.
+
+    ``seq`` replicates dict insertion order so the indexed contact path
+    can process tasks in exactly the order the full-scan path would
+    (replacing a live task keeps its position, like a dict value
+    assignment; re-creating a dropped key moves it to the end).
+    """
 
     version: int
     version_time: float
     may_recruit: bool
+    seq: int = 0
     handed_to: set[int] = field(default_factory=set)
 
 
@@ -179,6 +188,22 @@ class HdrRefreshHandler(ProtocolHandler):
         self.relay_budget = relay_budget
         self.tasks: dict[tuple[int, int], _PendingRefresh] = {}
         self._recruits_used: dict[tuple[int, int], int] = {}
+        # Per-contact index over `tasks`: keys grouped by delivery target,
+        # plus the recruit-capable subset.  A contact with peer P only
+        # touches tasks targeting P and tasks P could relay, instead of
+        # scanning everything this node carries.
+        self._by_target: dict[int, set[tuple[int, int]]] = {}
+        self._recruitable: set[tuple[int, int]] = set()
+        self._task_seq = 0
+        #: min-heap of (expiry, key, version) -- lets the indexed path
+        #: garbage-collect expired tasks at exactly the contacts the
+        #: full scan would, which matters because a drop frees the
+        #: task's dict slot (a later re-add appends instead of
+        #: replacing in place, changing processing order).  Entries go
+        #: stale when a task is dropped or replaced; the version check
+        #: at drain time skips them (a version uniquely determines its
+        #: version_time, hence its expiry).
+        self._task_expiry: list[tuple[float, tuple[int, int], int]] = []
 
     # -- versions this node knows ------------------------------------------
 
@@ -251,9 +276,33 @@ class HdrRefreshHandler(ProtocolHandler):
         existing = self.tasks.get(key)
         if existing is not None and existing.version >= version:
             return
+        if existing is not None:
+            seq = existing.seq  # value replacement keeps the dict position
+        else:
+            self._task_seq += 1
+            seq = self._task_seq
+            self._by_target.setdefault(target, set()).add(key)
         self.tasks[key] = _PendingRefresh(
-            version=version, version_time=version_time, may_recruit=may_recruit
+            version=version, version_time=version_time,
+            may_recruit=may_recruit, seq=seq,
         )
+        heapq.heappush(
+            self._task_expiry,
+            (version_time + self.catalog.get(item_id).lifetime, key, version),
+        )
+        if may_recruit:
+            self._recruitable.add(key)
+        else:
+            self._recruitable.discard(key)
+
+    def _drop_task(self, key: tuple[int, int]) -> None:
+        del self.tasks[key]
+        bucket = self._by_target.get(key[1])
+        if bucket is not None:
+            bucket.discard(key)
+            if not bucket:
+                del self._by_target[key[1]]
+        self._recruitable.discard(key)
 
     # -- contact machinery ----------------------------------------------------
 
@@ -267,13 +316,65 @@ class HdrRefreshHandler(ProtocolHandler):
             self._process_tasks(self.node.network.nodes[peer_id])
 
     def _process_tasks(self, peer: Node) -> None:
+        """Work the tasks this contact can advance.
+
+        The indexed path visits only tasks targeting ``peer`` plus the
+        recruit-capable ones, in task-creation (``seq``) order -- exactly
+        the order the full scan would process them, so the message
+        sequence is identical.  Expired tasks are garbage-collected from
+        the expiry heap first, which reproduces the full scan's drop
+        timing exactly (the scan drops *every* expired task on *every*
+        contact, and a drop frees the dict slot a later re-add would
+        otherwise replace in place).
+        """
+        if not accounting.INCREMENTAL_BOOKKEEPING:
+            self._process_tasks_scan(peer)
+            return
+        now = self.node.sim.now
+        expiry_heap = self._task_expiry
+        while expiry_heap and expiry_heap[0][0] <= now:
+            _, key, version = heapq.heappop(expiry_heap)
+            stale = self.tasks.get(key)
+            if stale is not None and stale.version == version:
+                self._drop_task(key)
+                self.stats.counter("refresh.tasks_expired").add(1)
+        if not self.tasks:
+            return
+        pid = peer.node_id
+        targeted = self._by_target.get(pid)
+        if targeted:
+            keys = self._recruitable | targeted
+        elif self._recruitable:
+            keys = set(self._recruitable)
+        else:
+            return
+        tasks = self.tasks
+        candidates = sorted((tasks[key].seq, key) for key in keys)
+        peer_handler = peer.find_handler(HdrRefreshHandler)
+        for _, key in candidates:
+            task = tasks.get(key)
+            if task is None:
+                continue
+            item_id, target = key
+            item = self.catalog.get(item_id)
+            if now >= task.version_time + item.lifetime:
+                # The version expired in transit; delivering it is useless.
+                self._drop_task(key)
+                self.stats.counter("refresh.tasks_expired").add(1)
+                continue
+            if pid == target:
+                self._deliver_to_target(item, target, task, peer, peer_handler)
+            elif task.may_recruit:
+                self._maybe_recruit(item, target, task, peer, peer_handler)
+
+    def _process_tasks_scan(self, peer: Node) -> None:
+        """Pre-index full scan, kept for equivalence testing/benchmarks."""
         now = self.node.sim.now
         peer_handler = peer.find_handler(HdrRefreshHandler)
         for (item_id, target), task in list(self.tasks.items()):
             item = self.catalog.get(item_id)
             if now >= task.version_time + item.lifetime:
-                # The version expired in transit; delivering it is useless.
-                del self.tasks[(item_id, target)]
+                self._drop_task((item_id, target))
                 self.stats.counter("refresh.tasks_expired").add(1)
                 continue
             if peer.node_id == target:
@@ -292,7 +393,7 @@ class HdrRefreshHandler(ProtocolHandler):
         if isinstance(peer_handler, HdrRefreshHandler):
             if peer_handler.known_version(item.item_id) >= task.version:
                 # Another copy beat us to it: the handshake suppresses the send.
-                del self.tasks[(item.item_id, target)]
+                self._drop_task((item.item_id, target))
                 self.stats.counter("refresh.suppressed").add(1)
                 return
         message = Message(
@@ -308,7 +409,7 @@ class HdrRefreshHandler(ProtocolHandler):
             },
         )
         if self.node.send(message, peer):
-            del self.tasks[(item.item_id, target)]
+            self._drop_task((item.item_id, target))
 
     def _relay_qualifies(self, plan, target: int, peer_id: int) -> bool:
         """Whether an encountered node is worth recruiting as a relay.
@@ -466,12 +567,44 @@ class InvalidationRefreshHandler(ProtocolHandler):
         self.store = store
         #: newest version this node has *heard of*, per item
         self.notices: dict[int, tuple[int, float]] = {}
+        #: per-peer watermark: the newest notice each peer was *observed*
+        #: holding (via handshake peeks and received messages).  Noticed
+        #: versions only grow, so a watermark-skip corresponds exactly to
+        #: a peek that would have suppressed the send anyway.
+        self._peer_seen: dict[int, dict[int, int]] = {}
+        #: per-peer count of notices whose watermark already covers our
+        #: noticed version -- when it equals ``len(notices)`` the gossip
+        #: scan is skipped outright (see FloodingRefreshHandler).
+        self._peer_known: dict[int, int] = {}
 
     def noticed_version(self, item_id: int) -> int:
         return self.notices.get(item_id, (0, 0.0))[0]
 
+    def _observe_peer(self, peer_id: int, item_id: int, version: int) -> None:
+        seen = self._peer_seen.get(peer_id)
+        if seen is None:
+            seen = self._peer_seen[peer_id] = {}
+            self._peer_known[peer_id] = 0
+        wm = seen.get(item_id, 0)
+        if version > wm:
+            seen[item_id] = version
+            notice = self.notices.get(item_id)
+            if notice is not None and wm < notice[0] <= version:
+                self._peer_known[peer_id] += 1
+
+    def _set_notice(self, item_id: int, version: int, version_time: float) -> None:
+        prev = self.notices.get(item_id)
+        self.notices[item_id] = (version, version_time)
+        old = prev[0] if prev is not None else None
+        if old == version:
+            return
+        for peer_id, seen in self._peer_seen.items():
+            wm = seen.get(item_id, 0)
+            if (old is not None and wm >= old) is not (wm >= version):
+                self._peer_known[peer_id] += 1 if wm >= version else -1
+
     def seed_entry(self, item: DataItem, version: int, version_time: float) -> None:
-        self.notices[item.item_id] = (version, version_time)
+        self._set_notice(item.item_id, version, version_time)
         if self.store is not None:
             now = self.node.sim.now if self.node.network else version_time
             self.store.put(
@@ -495,7 +628,7 @@ class InvalidationRefreshHandler(ProtocolHandler):
             )
 
     def source_published(self, item: DataItem, version: int, version_time: float) -> None:
-        self.notices[item.item_id] = (version, version_time)
+        self._set_notice(item.item_id, version, version_time)
         self._gossip_open_contacts()
 
     def _my_source_handler(self) -> Optional[SourceHandler]:
@@ -513,12 +646,33 @@ class InvalidationRefreshHandler(ProtocolHandler):
             self._gossip_to(self.node.network.nodes[peer_id])
 
     def _gossip_to(self, peer: Node) -> None:
+        if not self.notices:
+            return
+        pid = peer.node_id
+        if accounting.INCREMENTAL_BOOKKEEPING:
+            if self._peer_known.get(pid) == len(self.notices):
+                return
+            seen = self._peer_seen.get(pid)
+            if seen is None:
+                seen = self._peer_seen[pid] = {}
+                self._peer_known[pid] = 0
+        else:
+            seen = None
         peer_handler = peer.find_handler(InvalidationRefreshHandler)
         if not isinstance(peer_handler, InvalidationRefreshHandler):
             return
         now = self.node.sim.now
         for item_id, (version, version_time) in self.notices.items():
-            if peer_handler.noticed_version(item_id) >= version:
+            if seen is not None:
+                wm = seen.get(item_id, 0)
+                if wm >= version:
+                    continue
+            peer_version = peer_handler.noticed_version(item_id)
+            if seen is not None and peer_version > wm:
+                seen[item_id] = peer_version
+                if peer_version >= version:
+                    self._peer_known[pid] += 1
+            if peer_version >= version:
                 continue
             message = Message(
                 kind="invalidate",
@@ -567,10 +721,12 @@ class InvalidationRefreshHandler(ProtocolHandler):
         item_id = message.payload["item_id"]
         version = message.payload["version"]
         version_time = message.payload["version_time"]
+        # The sender provably holds a notice for at least this version.
+        self._observe_peer(sender.node_id, item_id, version)
         if message.kind == "invalidate":
             if self.noticed_version(item_id) >= version:
                 return
-            self.notices[item_id] = (version, version_time)
+            self._set_notice(item_id, version, version_time)
             if self.store is not None:
                 entry = self.store.peek(item_id)
                 if entry is not None and entry.version < version:
@@ -591,9 +747,8 @@ class InvalidationRefreshHandler(ProtocolHandler):
             ),
             now,
         ):
-            self.notices[item_id] = (
-                max(version, self.noticed_version(item_id)),
-                version_time,
+            self._set_notice(
+                item_id, max(version, self.noticed_version(item_id)), version_time
             )
             self.update_log.append(
                 RefreshUpdate(
@@ -628,12 +783,47 @@ class FloodingRefreshHandler(ProtocolHandler):
         self.store = store
         #: newest version this node carries, per item (caching or not)
         self.carried: dict[int, tuple[int, float]] = {}
+        #: per-peer watermark of the newest version each peer was observed
+        #: carrying; carried versions only grow, so skipping on the
+        #: watermark suppresses exactly the sends the handshake peek
+        #: would have filtered.
+        self._peer_seen: dict[int, dict[int, int]] = {}
+        #: per-peer count of carried items whose watermark already covers
+        #: our carried version.  When it equals ``len(carried)`` the scan
+        #: in :meth:`_push_to` would skip every item, so the whole
+        #: exchange is a single dict lookup.  Maintained by the only two
+        #: mutators of ``carried``/``_peer_seen``: :meth:`_carry` and
+        #: :meth:`_observe_peer` (plus the inline peek in ``_push_to``).
+        self._peer_known: dict[int, int] = {}
 
     def known_version(self, item_id: int) -> int:
         return self.carried.get(item_id, (0, 0.0))[0]
 
+    def _observe_peer(self, peer_id: int, item_id: int, version: int) -> None:
+        seen = self._peer_seen.get(peer_id)
+        if seen is None:
+            seen = self._peer_seen[peer_id] = {}
+            self._peer_known[peer_id] = 0
+        wm = seen.get(item_id, 0)
+        if version > wm:
+            seen[item_id] = version
+            entry = self.carried.get(item_id)
+            if entry is not None and wm < entry[0] <= version:
+                self._peer_known[peer_id] += 1
+
+    def _carry(self, item_id: int, version: int, version_time: float) -> None:
+        prev = self.carried.get(item_id)
+        self.carried[item_id] = (version, version_time)
+        old = prev[0] if prev is not None else None
+        if old == version:
+            return
+        for peer_id, seen in self._peer_seen.items():
+            wm = seen.get(item_id, 0)
+            if (old is not None and wm >= old) is not (wm >= version):
+                self._peer_known[peer_id] += 1 if wm >= version else -1
+
     def seed_entry(self, item: DataItem, version: int, version_time: float) -> None:
-        self.carried[item.item_id] = (version, version_time)
+        self._carry(item.item_id, version, version_time)
         if self.store is not None:
             now = self.node.sim.now if self.node.network else version_time
             self.store.put(
@@ -657,7 +847,7 @@ class FloodingRefreshHandler(ProtocolHandler):
             )
 
     def source_published(self, item: DataItem, version: int, version_time: float) -> None:
-        self.carried[item.item_id] = (version, version_time)
+        self._carry(item.item_id, version, version_time)
         self._push_open_contacts()
 
     def on_contact_start(self, peer: Node) -> None:
@@ -670,15 +860,38 @@ class FloodingRefreshHandler(ProtocolHandler):
             self._push_to(self.node.network.nodes[peer_id])
 
     def _push_to(self, peer: Node) -> None:
+        if not self.carried:
+            return
+        pid = peer.node_id
+        if accounting.INCREMENTAL_BOOKKEEPING:
+            if self._peer_known.get(pid) == len(self.carried):
+                # Every carried version was already observed at the peer,
+                # so the scan below would skip every item.
+                return
+            seen = self._peer_seen.get(pid)
+            if seen is None:
+                seen = self._peer_seen[pid] = {}
+                self._peer_known[pid] = 0
+        else:
+            seen = None
         peer_handler = peer.find_handler(FloodingRefreshHandler)
         if not isinstance(peer_handler, FloodingRefreshHandler):
             return
         now = self.node.sim.now
         for item_id, (version, version_time) in self.carried.items():
+            if seen is not None:
+                wm = seen.get(item_id, 0)
+                if wm >= version:
+                    continue
             item = self.catalog.get(item_id)
             if now >= version_time + item.lifetime:
                 continue
-            if peer_handler.known_version(item_id) >= version:
+            peer_version = peer_handler.known_version(item_id)
+            if seen is not None and peer_version > wm:
+                seen[item_id] = peer_version
+                if peer_version >= version:
+                    self._peer_known[pid] += 1
+            if peer_version >= version:
                 continue
             message = Message(
                 kind="refresh_flood",
@@ -698,9 +911,11 @@ class FloodingRefreshHandler(ProtocolHandler):
         item_id = message.payload["item_id"]
         version = message.payload["version"]
         version_time = message.payload["version_time"]
+        # The sender provably carries at least this version.
+        self._observe_peer(sender.node_id, item_id, version)
         if self.known_version(item_id) >= version:
             return
-        self.carried[item_id] = (version, version_time)
+        self._carry(item_id, version, version_time)
         if self.store is not None:
             item = self.catalog.get(item_id)
             now = self.node.sim.now

@@ -45,6 +45,8 @@ from repro.caching.ncl import select_caching_nodes
 from repro.caching.query import QueryManager
 from repro.caching.store import CacheStore, EvictionPolicy
 from repro.contacts.rates import RateTable, mle_rates
+from repro.core import accounting
+from repro.core.accounting import FreshnessAccountant
 from repro.core.hierarchy import RefreshTree, build_tree, random_tree, star_tree
 from repro.core.refresh import (
     FloodingRefreshHandler,
@@ -163,18 +165,31 @@ class SchemeRuntime:
     update_log: list[RefreshUpdate]
     stats: StatsRegistry
     query_managers: dict[int, QueryManager] = field(default_factory=dict)
+    accountant: Optional[FreshnessAccountant] = None
 
     def run(self, until: Optional[float] = None) -> float:
         """Start the network and advance the simulation to ``until``."""
         return self.network.run(until=until)
 
-    def freshness_snapshot(self) -> tuple[int, int, int]:
+    def freshness_snapshot(
+        self, recompute: Optional[bool] = None
+    ) -> tuple[int, int, int]:
         """``(fresh, valid, total)`` over all (caching node, item) slots.
 
         *Fresh* means the cached version is the source's current version
         right now; *valid* means it has not expired.  Slots with no
         entry count as neither.
+
+        Served from the incremental :class:`FreshnessAccountant` in O(1)
+        per call.  ``recompute=True`` forces the original brute-force
+        O(caching_nodes x catalog) scan -- the debug path equivalence
+        tests compare against; ``recompute=None`` follows the global
+        :data:`repro.core.accounting.INCREMENTAL_BOOKKEEPING` switch.
         """
+        if recompute is None:
+            recompute = not accounting.INCREMENTAL_BOOKKEEPING
+        if not recompute and self.accountant is not None:
+            return self.accountant.snapshot(self.sim.now)
         now = self.sim.now
         fresh = 0
         valid = 0
@@ -194,14 +209,38 @@ class SchemeRuntime:
                     fresh += 1
         return fresh, valid, total
 
+    def verify_freshness_accounting(self) -> tuple[int, int, int]:
+        """Assert the incremental counters match the brute-force scan.
+
+        Returns the snapshot on success; raises ``AssertionError`` with
+        both readings otherwise.  Test/debug helper.
+        """
+        incremental = self.freshness_snapshot(recompute=False)
+        brute = self.freshness_snapshot(recompute=True)
+        if incremental != brute:
+            raise AssertionError(
+                f"freshness accounting diverged at t={self.sim.now}: "
+                f"incremental={incremental}, brute-force={brute}"
+            )
+        return incremental
+
     def install_freshness_probe(self, interval: float, until: float) -> None:
-        """Record freshness/validity ratios every ``interval`` seconds."""
+        """Record freshness/validity ratios every ``interval`` seconds.
+
+        With the incremental accountant each probe is O(1) (plus lazily
+        draining whatever expired since the previous probe) instead of a
+        full store scan.
+        """
         if interval <= 0:
             raise ValueError("interval must be positive")
+        gauge_fresh = self.stats.gauge("probe.fresh_slots")
+        gauge_valid = self.stats.gauge("probe.valid_slots")
 
         def probe() -> None:
             fresh, valid, total = self.freshness_snapshot()
             now = self.sim.now
+            gauge_fresh.set(fresh)
+            gauge_valid.set(valid)
             if total:
                 self.stats.series("probe.freshness").record(now, fresh / total)
                 self.stats.series("probe.validity").record(now, valid / total)
@@ -350,6 +389,13 @@ def build_simulation(
         nid: CacheStore(capacity=store_capacity, policy=eviction_policy)
         for nid in caching_nodes
     }
+    # Incremental freshness accounting: mirror every store mutation,
+    # publish and churn event into running fresh/valid counters.  Wired
+    # before any seeding/handlers so no mutation escapes it.
+    accountant = FreshnessAccountant(catalog, caching_nodes)
+    for nid in caching_nodes:
+        stores[nid].change_listener = accountant.store_listener(nid)
+    network.add_online_listener(accountant.online_changed)
     refresh_handlers: dict[int, HdrRefreshHandler | FloodingRefreshHandler] = {}
     if config.structure in ("tree", "star"):
         for nid, node in nodes.items():
@@ -400,6 +446,10 @@ def build_simulation(
         )
         nodes[source].add_handler(handler)
         source_handlers[source] = handler
+        # The accountant must observe the publish before the distributor
+        # reacts to it (the distributor's sends mutate stores, and those
+        # mutations must be judged against the new current version).
+        handler.on_new_version(accountant.version_published)
         distributor = refresh_handlers.get(source)
         if distributor is not None:
             handler.on_new_version(distributor.source_published)
@@ -457,6 +507,7 @@ def build_simulation(
         update_log=update_log,
         stats=stats,
         query_managers=query_managers,
+        accountant=accountant,
     )
 
 

@@ -1,6 +1,6 @@
-"""Performance benchmarks: engine events/sec and sweep wall-clock.
+"""Performance benchmarks: engine, sweep, scheme bookkeeping, trace gen.
 
-Two measurements back the performance claims in the README:
+Four measurements back the performance claims in the README:
 
 * **engine micro-benchmark** -- a heap-heavy synthetic workload (many
   pending self-rescheduling timers, a sprinkling of cancellations) run
@@ -13,9 +13,24 @@ Two measurements back the performance claims in the README:
   serially (``jobs=1``) and through the process pool (``jobs=4`` by
   default), with the per-seed artifact cache cleared before each timed
   run so both sides pay the same trace-generation cost.  Reported as
-  wall-clock seconds plus the parallel speedup.
+  wall-clock seconds plus the parallel speedup.  Skipped (marked
+  ``"skipped": "1 cpu"``) on single-CPU machines, where a process pool
+  can only add overhead.
 
-``repro bench`` runs both and writes ``BENCH_runner.json``.
+* **scheme benchmark** -- the reference sweep (paper-scale caching-node
+  and item counts, 60 s freshness sampling) run serially with the
+  incremental bookkeeping on (default) and off (``legacy``): the
+  brute-force freshness probe, the full task scan and per-contact
+  version peeks, and scalar trace assembly.  Both runs must produce
+  metric-identical results (``identical`` in the report); the speedup
+  is the end-to-end serial gain of the incremental paths.
+
+* **trace-gen benchmark** -- synthetic trace generation per calibration
+  profile, vectorised vs scalar assembly, with a bit-identity assertion
+  (both paths consume the RNG substream identically).
+
+``repro bench`` runs all of them and writes ``BENCH_runner.json``;
+``repro bench --quick`` shrinks the workloads for CI smoke use.
 """
 
 from __future__ import annotations
@@ -26,8 +41,9 @@ import json
 import os
 import platform
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterator, Optional
 
 from repro.experiments.artifacts import cache_clear
 from repro.experiments.config import DAY, Settings
@@ -195,17 +211,18 @@ def available_cpus() -> int:
 def sweep_benchmark(jobs: Optional[int] = None) -> dict:
     """Serial vs parallel wall-clock for the 4-seed x 4-scheme sweep.
 
-    The reported speedup is bounded by ``cpus``: on a single-core
-    machine the pool can only add overhead, so the report carries the
-    CPU count to make the number interpretable.
+    On a single-CPU machine the pool can only add overhead, so the
+    comparison is skipped outright and the report says so.
     """
+    cpus = available_cpus()
+    if cpus < 2:
+        return {"skipped": "1 cpu", "cpus": cpus}
     workers = resolve_jobs(jobs) if jobs is not None else 4
     if workers <= 1:
         workers = 4
-    cpus = available_cpus()
     serial = _timed_sweep(1)
     parallel = _timed_sweep(workers)
-    report = {
+    return {
         "seeds": len(SWEEP_SEEDS),
         "schemes": list(SWEEP_SCHEMES),
         "jobs": workers,
@@ -214,22 +231,194 @@ def sweep_benchmark(jobs: Optional[int] = None) -> dict:
         "parallel_seconds": round(parallel, 3),
         "speedup": round(serial / parallel, 3),
     }
-    if cpus < 2:
-        report["note"] = (
-            "single-CPU machine: process-pool parallelism cannot beat "
-            "serial here; re-run on a multi-core host for the speedup"
-        )
+
+
+# ---------------------------------------------------------------------------
+# Scheme (incremental bookkeeping) and trace-generation benchmarks
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def legacy_mode() -> Iterator[None]:
+    """Temporarily run with every incremental/vectorised path disabled.
+
+    Flips the brute-force freshness probe, the full per-contact task
+    scan, the per-item version peeks, scalar trace assembly and the
+    dataclass contact sort back on -- the pre-optimisation behaviour,
+    kept live precisely so this comparison stays honest.
+    """
+    from repro.core import accounting
+    from repro.mobility import synthetic, trace
+
+    saved = (
+        accounting.INCREMENTAL_BOOKKEEPING,
+        synthetic.VECTORISED_GENERATION,
+        trace.FAST_SORT,
+    )
+    accounting.INCREMENTAL_BOOKKEEPING = False
+    synthetic.VECTORISED_GENERATION = False
+    trace.FAST_SORT = False
+    try:
+        yield
+    finally:
+        (
+            accounting.INCREMENTAL_BOOKKEEPING,
+            synthetic.VECTORISED_GENERATION,
+            trace.FAST_SORT,
+        ) = saved
+
+
+def reference_settings(quick: bool = False) -> Settings:
+    """The reference scenario for scheme-level benchmarks and profiling.
+
+    Paper-scale caching-node/item/source counts on the small calibrated
+    trace, with 60-second freshness sampling -- the high-resolution
+    probing that incremental accounting makes cheap.
+    """
+    return Settings.fast().with_(
+        seeds=(1, 2) if quick else SWEEP_SEEDS,
+        duration=(3 if quick else 6) * DAY,
+        num_caching_nodes=12,
+        num_items=6,
+        num_sources=2,
+        probe_interval=60.0,
+    )
+
+
+def scheme_benchmark(quick: bool = False, repeats: int = 2) -> dict:
+    """End-to-end serial sweep: incremental bookkeeping vs legacy paths.
+
+    Runs the reference sweep with the optimised paths (default flags)
+    and again in :func:`legacy_mode`, best-of-``repeats`` each, clearing
+    the artifact cache before every timed run.  The two final metric
+    sets are compared field-for-field (``RunMetrics.same_as``); the
+    benchmark is only meaningful while they stay identical.
+    """
+    from repro.experiments.runner import run_replicated
+
+    settings = reference_settings(quick)
+    if quick:
+        repeats = 1
+
+    def timed() -> tuple[float, dict]:
+        cache_clear()
+        start = time.perf_counter()
+        result = run_replicated(SWEEP_SCHEMES, settings, jobs=1)
+        return time.perf_counter() - start, result
+
+    optimised_times, legacy_times = [], []
+    optimised_result = legacy_result = None
+    for _ in range(repeats):
+        elapsed, optimised_result = timed()
+        optimised_times.append(elapsed)
+        with legacy_mode():
+            elapsed, legacy_result = timed()
+        legacy_times.append(elapsed)
+    cache_clear()  # legacy-generated artifacts must not leak to later runs
+    identical = all(
+        a.same_as(b)
+        for scheme in SWEEP_SCHEMES
+        for a, b in zip(optimised_result[scheme], legacy_result[scheme])
+    )
+    optimised, legacy = min(optimised_times), min(legacy_times)
+    return {
+        "seeds": len(settings.seeds),
+        "schemes": list(SWEEP_SCHEMES),
+        "num_caching_nodes": settings.num_caching_nodes,
+        "num_items": settings.num_items,
+        "probe_interval_s": settings.probe_interval,
+        "duration_days": settings.duration / DAY,
+        "optimised_seconds": round(optimised, 3),
+        "legacy_seconds": round(legacy, 3),
+        "speedup": round(legacy / optimised, 3),
+        "identical": identical,
+    }
+
+
+def trace_gen_benchmark(quick: bool = False, repeats: int = 2) -> dict:
+    """Vectorised vs scalar synthetic-trace assembly, per profile.
+
+    Asserts bit-identity of the generated traces (same seed, both
+    paths) before reporting the timing -- a speedup over a divergent
+    trace would be meaningless.
+    """
+    import numpy as np
+
+    from repro.mobility.calibration import get_profile, list_profiles
+
+    profiles = ["small"] if quick else list_profiles()
+    if quick:
+        repeats = 1
+    report: dict[str, Any] = {"profiles": {}}
+    for name in profiles:
+        profile = get_profile(name)
+
+        def timed() -> tuple[float, Any]:
+            start = time.perf_counter()
+            generated = profile.generate(np.random.default_rng(1))
+            return time.perf_counter() - start, generated
+
+        vec_times, scalar_times = [], []
+        vectorised = scalar = None
+        for _ in range(repeats):
+            elapsed, vectorised = timed()
+            vec_times.append(elapsed)
+            with legacy_mode():
+                elapsed, scalar = timed()
+            scalar_times.append(elapsed)
+        identical = list(vectorised) == list(scalar)
+        vec, sca = min(vec_times), min(scalar_times)
+        report["profiles"][name] = {
+            "contacts": len(vectorised),
+            "vectorised_seconds": round(vec, 3),
+            "scalar_seconds": round(sca, 3),
+            "speedup": round(sca / vec, 3) if vec > 0 else float("inf"),
+            "identical": identical,
+        }
     return report
 
 
+def check_engine_regression(
+    report: dict, baseline_path: str, threshold: float = 0.30
+) -> tuple[bool, str]:
+    """Compare a fresh report's engine throughput against a committed one.
+
+    Returns ``(ok, message)``; ``ok`` is ``False`` when events/sec
+    dropped more than ``threshold`` below the baseline.  A missing or
+    baseline-less file passes (nothing to regress against).
+    """
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return True, f"no usable baseline at {baseline_path}; skipping check"
+    base = baseline.get("engine", {}).get("events_per_sec")
+    if not base:
+        return True, f"{baseline_path} has no engine events/sec; skipping check"
+    current = report["engine"]["events_per_sec"]
+    ratio = current / base
+    ok = ratio >= 1.0 - threshold
+    message = (
+        f"engine {current:,.0f} events/s vs baseline {base:,.0f} "
+        f"({ratio:.2f}x, floor {1.0 - threshold:.2f}x)"
+    )
+    return ok, message
+
+
 def run_benchmarks(jobs: Optional[int] = None,
-                   path: Optional[str] = None) -> dict:
-    """Run both benchmarks; optionally write the JSON report to ``path``."""
+                   path: Optional[str] = None,
+                   quick: bool = False) -> dict:
+    """Run every benchmark; optionally write the JSON report to ``path``."""
     report = {
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "engine": engine_benchmark(),
+        "engine": engine_benchmark(
+            num_events=50_000 if quick else 200_000,
+            repeats=2 if quick else 3,
+        ),
         "sweep": sweep_benchmark(jobs=jobs),
+        "scheme": scheme_benchmark(quick=quick),
+        "trace_gen": trace_gen_benchmark(quick=quick),
     }
     if path is not None:
         with open(path, "w", encoding="utf-8") as handle:

@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.mobility import synthetic
 from repro.mobility.synthetic import PoissonContactModel, community_rate_matrix
 from repro.mobility.trace import Contact, ContactTrace
 
@@ -111,11 +112,29 @@ class DiurnalModel:
         return float(self.activity[hour])
 
     def generate(self, duration: float, rng: np.random.Generator) -> ContactTrace:
+        """Thin the peak-rate candidate trace by time-of-day activity.
+
+        One uniform is drawn per candidate contact, in trace order --
+        the batched draw consumes the RNG stream exactly like the scalar
+        per-contact draw, so both paths keep the same contacts.
+        """
         candidate = self._peak_model.generate(duration, rng)
-        kept: list[Contact] = []
-        for c in candidate:
-            if rng.random() < self.activity_at(c.start):
-                kept.append(c)
+        m = len(candidate)
+        if not synthetic.VECTORISED_GENERATION:
+            kept: list[Contact] = []
+            for c in candidate:
+                if rng.random() < self.activity_at(c.start):
+                    kept.append(c)
+        elif m:
+            u = rng.random(m)
+            starts = np.fromiter(
+                (c.start for c in candidate), dtype=float, count=m
+            )
+            hours = (starts // 3600.0).astype(np.int64) % 24
+            keep = u < self.activity[hours]
+            kept = [c for c, k in zip(candidate.contacts, keep.tolist()) if k]
+        else:
+            kept = []
         return ContactTrace(kept, node_ids=self.node_ids, name=self.name)
 
     def effective_mean_activity(self) -> float:

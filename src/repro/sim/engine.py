@@ -14,7 +14,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Any, Callable, Optional
+
+#: Compaction kicks in only past this many cancelled entries, so small
+#: simulations never pay the rebuild.
+_COMPACT_MIN_CANCELLED = 64
+
+_INF = math.inf
 
 
 class SimulationError(RuntimeError):
@@ -34,7 +41,7 @@ class Event:
     exactly (``seq`` is unique, so the comparison never goes past it).
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "sim")
 
     def __init__(
         self,
@@ -44,6 +51,7 @@ class Event:
         callback: Callable[..., None],
         args: tuple = (),
         cancelled: bool = False,
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -51,6 +59,7 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = cancelled
+        self.sim = sim
 
     def sort_key(self) -> tuple[float, int, int]:
         return (self.time, self.priority, self.seq)
@@ -80,7 +89,11 @@ class Event:
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.sim is not None:
+            self.sim._note_cancelled()
 
 
 class Simulator:
@@ -101,6 +114,11 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._events_executed = 0
+        #: upper bound on cancelled events still sitting in the heap
+        #: (an event cancelled after it was popped is counted but never
+        #: found in the heap, so this may over-estimate -- compaction
+        #: resets it to the truth)
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -130,12 +148,19 @@ class Simulator:
         scheduling exactly at ``now`` is allowed (the event runs after
         the current callback returns).
         """
-        if time < self._now:
+        # Single chained comparison covers the hot path: it is False for
+        # times in the past, for +/-inf and for NaN, so the expensive
+        # diagnostics only run on the error branch.
+        if not (self._now <= time < _INF):
+            if not math.isfinite(time):
+                raise SimulationError(
+                    f"cannot schedule at non-finite time {time!r}"
+                )
             raise SimulationError(
                 f"cannot schedule at t={time:.6f}, now is t={self._now:.6f}"
             )
         seq = next(self._seq)
-        event = Event(float(time), priority, seq, callback, args)
+        event = Event(float(time), priority, seq, callback, args, False, self)
         heapq.heappush(self._heap, (event.time, priority, seq, event))
         return event
 
@@ -147,9 +172,31 @@ class Simulator:
         priority: int = 0,
     ) -> Event:
         """Schedule ``callback(*args)`` after a relative ``delay`` seconds."""
-        if delay < 0:
+        if not (0.0 <= delay < _INF):
+            if not math.isfinite(delay):
+                raise SimulationError(f"non-finite delay {delay!r}")
             raise SimulationError(f"negative delay {delay}")
         return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def _note_cancelled(self) -> None:
+        """Account one cancellation; compact the heap when cancelled
+        entries outnumber live ones.
+
+        Lazy deletion alone lets churn-heavy runs (periodic probes and
+        timers cancelled en masse) grow the heap without bound.  The
+        rebuild filters live entries and re-heapifies in place -- pops
+        compare the full ``(time, priority, seq)`` key, so the pop order
+        after compaction is identical.
+        """
+        self._cancelled += 1
+        heap = self._heap
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(heap)
+        ):
+            heap[:] = [entry for entry in heap if not entry[3].cancelled]
+            heapq.heapify(heap)
+            self._cancelled = 0
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Execute events in order until the heap drains or limits hit.
@@ -172,6 +219,8 @@ class Simulator:
                     break
                 event = heappop(heap)[3]
                 if event.cancelled:
+                    if self._cancelled > 0:
+                        self._cancelled -= 1
                     continue
                 self._now = time
                 event.callback(*event.args)
@@ -193,6 +242,8 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)[3]
             if event.cancelled:
+                if self._cancelled > 0:
+                    self._cancelled -= 1
                 continue
             self._now = event.time
             event.callback(*event.args)
@@ -204,4 +255,6 @@ class Simulator:
         """Time of the next non-cancelled event, or ``None`` if drained."""
         while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
+            if self._cancelled > 0:
+                self._cancelled -= 1
         return self._heap[0][0] if self._heap else None

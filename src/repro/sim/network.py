@@ -139,9 +139,17 @@ class ContactNetwork:
         self._c_contacts = self.stats.counter("net.contacts")
         self._c_contacts_skipped = self.stats.counter("net.contacts_skipped_offline")
         self._kind_counters: dict[str, Counter] = {}
+        #: Hooks fired after a node's online state flips, as
+        #: ``listener(node_id, online, now)``.  Churn drives all state
+        #: flips through :meth:`set_online`, so listeners see every one.
+        self._online_listeners: list = []
         for node in self.nodes.values():
             node.network = self
         self._schedule_trace(contacts)
+
+    def add_online_listener(self, listener) -> None:
+        """Register ``listener(node_id, online, now)`` for churn events."""
+        self._online_listeners.append(listener)
 
     def _schedule_trace(self, contacts: Iterable["Contact"]) -> None:
         count = 0
@@ -215,6 +223,8 @@ class ContactNetwork:
             self.stats.counter("net.nodes_went_offline").add(1)
         else:
             self.stats.counter("net.nodes_came_online").add(1)
+        for listener in self._online_listeners:
+            listener(node_id, online, self.sim.now)
 
     # -- transfer path ------------------------------------------------------
 

@@ -27,6 +27,30 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
+class Gauge:
+    """A current-value instrument: goes up and down, reads instantly.
+
+    Unlike :class:`Counter` (an accumulating total), a gauge tracks a
+    level -- e.g. the number of currently-fresh cache slots maintained by
+    the incremental freshness accountant.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Gauge({self.name}={self.value})"
+
+
 class Tally:
     """Streaming mean/variance/min/max over observed samples (Welford)."""
 
@@ -115,6 +139,7 @@ class StatsRegistry:
         self._counters: dict[str, Counter] = {}
         self._series: dict[str, TimeSeries] = {}
         self._tallies: dict[str, Tally] = {}
+        self._gauges: dict[str, Gauge] = {}
 
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
@@ -134,10 +159,25 @@ class StatsRegistry:
             tally = self._tallies[name] = Tally(name)
         return tally
 
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
     def counter_value(self, name: str, default: float = 0.0) -> float:
         """Read a counter without creating it."""
         counter = self._counters.get(name)
         return counter.value if counter is not None else default
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        """Read a gauge without creating it."""
+        gauge = self._gauges.get(name)
+        return gauge.value if gauge is not None else default
+
+    def gauges(self) -> dict[str, float]:
+        """Snapshot of all gauge values."""
+        return {name: g.value for name, g in sorted(self._gauges.items())}
 
     def counters(self) -> dict[str, float]:
         """Snapshot of all counter values."""

@@ -139,3 +139,62 @@ class TestStoreProperties:
                     assert current.version >= min(previous, version)
                 highest[item_id] = max(previous, current.version)
             assert len(store) <= capacity
+
+
+class TestChangeListener:
+    """Every mutation path must notify the change listener with the exact
+    (item_id, old, new, now) shape the freshness accountant keys off."""
+
+    def recording(self, **kwargs):
+        store = CacheStore(**kwargs)
+        events = []
+        store.change_listener = lambda *args: events.append(args)
+        return store, events
+
+    def test_insert(self):
+        store, events = self.recording()
+        new = entry()
+        store.put(new, now=1.0)
+        assert events == [(0, None, new, 1.0)]
+
+    def test_replace_reports_old_and_new(self):
+        store, events = self.recording()
+        old, new = entry(version=1), entry(version=2, version_time=5.0, cached_at=5.0)
+        store.put(old, now=0.0)
+        store.put(new, now=5.0)
+        assert events[1] == (0, old, new, 5.0)
+
+    def test_stale_put_is_silent(self):
+        store, events = self.recording()
+        store.put(entry(version=2), now=0.0)
+        store.put(entry(version=1), now=1.0)
+        assert len(events) == 1
+
+    def test_remove(self):
+        import math
+
+        store, events = self.recording()
+        old = entry()
+        store.put(old, now=0.0)
+        store.remove(0)
+        item_id, before, after, now = events[1]
+        assert (item_id, before, after) == (0, old, None)
+        assert math.isnan(now)  # removal time is not meaningful
+        store.remove(0)  # already gone: no event
+        assert len(events) == 2
+
+    def test_drop_expired(self):
+        store, events = self.recording()
+        item = DataItem(item_id=0, source=9, refresh_interval=10.0, lifetime=20.0)
+        old = entry(version=1, version_time=0.0)
+        store.put(old, now=0.0)
+        store.drop_expired(now=25.0, items={0: item})
+        assert events[1] == (0, old, None, 25.0)
+
+    def test_evict(self):
+        store, events = self.recording(capacity=1)
+        victim = entry(item_id=0)
+        store.put(victim, now=0.0)
+        store.put(entry(item_id=1), now=1.0)
+        assert events[1] == (0, victim, None, 1.0)
+        assert events[2][:2] == (1, None)

@@ -141,3 +141,33 @@ class TestPoissonContactModel:
         b = model.generate(1000.0, np.random.default_rng(5))
         assert len(a) == len(b)
         assert all(x.pair == y.pair and x.start == y.start for x, y in zip(a, b))
+
+
+class TestVectorisedBitIdentity:
+    """The vectorised generators must reproduce the scalar paths exactly:
+    same contacts, same order, bit-identical timestamps per seed."""
+
+    def _scalar(self, fn):
+        from repro.experiments.bench import legacy_mode
+
+        with legacy_mode():
+            return fn()
+
+    def test_poisson_model_identical_to_scalar(self):
+        model = PoissonContactModel(homogeneous_rate_matrix(6, 0.005))
+        vectorised = model.generate(100_000.0, np.random.default_rng(3))
+        scalar = self._scalar(
+            lambda: model.generate(100_000.0, np.random.default_rng(3))
+        )
+        assert list(vectorised) == list(scalar)
+
+    @pytest.mark.parametrize("name", ["infocom06", "reality", "small"])
+    def test_calibration_profile_identical_to_scalar(self, name):
+        from repro.mobility.calibration import get_profile
+
+        profile = get_profile(name)
+        vectorised = profile.generate(np.random.default_rng(1))
+        scalar = self._scalar(lambda: profile.generate(np.random.default_rng(1)))
+        assert len(vectorised) == len(scalar)
+        assert list(vectorised) == list(scalar)
+        assert vectorised.node_ids == scalar.node_ids

@@ -245,3 +245,83 @@ class TestHeapOrderEquivalence:
         sim.run()
 
         assert current_order == legacy_order
+
+
+class TestNonFiniteTimes:
+    def test_schedule_at_rejects_nan(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="non-finite"):
+            sim.schedule_at(float("nan"), lambda: None)
+
+    @pytest.mark.parametrize("bad", [float("inf"), float("-inf")])
+    def test_schedule_at_rejects_inf(self, bad):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="non-finite"):
+            sim.schedule_at(bad, lambda: None)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_schedule_after_rejects_non_finite_delay(self, bad):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="non-finite"):
+            sim.schedule_after(bad, lambda: None)
+
+    def test_heap_stays_usable_after_rejection(self):
+        # a NaN time used to slip into the heap and poison its ordering
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, fired.append, "a")
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("nan"), fired.append, "poison")
+        sim.schedule_at(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b"]
+
+
+class TestCancelledCompaction:
+    def test_mass_cancellation_shrinks_heap(self):
+        sim = Simulator()
+        events = [sim.schedule_at(float(i), lambda: None) for i in range(1000)]
+        for event in events[:900]:
+            event.cancel()
+        # lazy deletion alone would leave all 1000 entries in the heap
+        assert sim.pending < 500
+        sim.run()
+        assert sim.events_executed == 100
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        events = [sim.schedule_at(float(i), lambda: None) for i in range(10)]
+        for event in events:
+            event.cancel()
+            event.cancel()
+        sim.run()
+        assert sim.events_executed == 0
+
+    def test_pop_order_preserved_across_compaction(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        for i in range(300):
+            event = sim.schedule_at(float(i % 7), fired.append, i,
+                                    priority=i % 3)
+            if i % 4 == 0:
+                keep.append((i % 7, i % 3, i))
+            else:
+                event.cancel()
+        sim.run()
+        assert fired == [seq for (_, _, seq) in sorted(keep)]
+
+    def test_cancel_inside_callback_compacts_safely(self):
+        sim = Simulator()
+        victims = [sim.schedule_at(5.0, lambda: None) for _ in range(200)]
+        fired = []
+
+        def cancel_all():
+            for event in victims:
+                event.cancel()
+
+        sim.schedule_at(1.0, cancel_all)
+        sim.schedule_at(6.0, fired.append, "late")
+        sim.run()
+        assert fired == ["late"]
+        assert sim.events_executed == 2

@@ -205,3 +205,27 @@ class TestBandwidthBudgetRelease:
         link.contact_closed(7, 9)  # never opened: must be a no-op
         link.contact_closed(7, 9)  # and idempotent
         assert link.open_budgets == 0
+
+
+class TestOnlineListeners:
+    def test_listener_sees_every_state_flip(self):
+        net = build_network(pair_trace())
+        events = []
+        net.add_online_listener(lambda nid, online, now: events.append((nid, online, now)))
+        net.start()
+        net.sim.run(until=15.0)
+        net.set_online(0, False)
+        net.set_online(0, False)  # no change: must not re-fire
+        net.set_online(0, True)
+        assert events == [(0, False, 15.0), (0, True, 15.0)]
+
+    def test_going_offline_closes_open_contacts(self):
+        net = build_network(pair_trace())
+        closed = []
+        net.add_online_listener(lambda nid, online, now: closed.append(online))
+        net.start()
+        net.sim.run(until=15.0)
+        assert net.nodes[1].in_contact_with(0)
+        net.set_online(0, False)
+        assert not net.nodes[1].in_contact_with(0)
+        assert closed == [False]

@@ -113,3 +113,30 @@ class TestRegistry:
         stats.tally("b").observe(2.0)
         assert set(stats.all_series()) == {"a"}
         assert set(stats.all_tallies()) == {"b"}
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        stats = StatsRegistry()
+        gauge = stats.gauge("fresh")
+        gauge.add()
+        gauge.add(2.5)
+        gauge.set(5.0)
+        gauge.add(-1.5)
+        assert stats.gauge_value("fresh") == 3.5
+
+    def test_created_once(self):
+        stats = StatsRegistry()
+        assert stats.gauge("g") is stats.gauge("g")
+
+    def test_gauge_value_default_does_not_create(self):
+        stats = StatsRegistry()
+        assert stats.gauge_value("missing", default=7.0) == 7.0
+        assert stats.gauges() == {}
+
+    def test_gauges_snapshot_is_sorted(self):
+        stats = StatsRegistry()
+        stats.gauge("b").set(2.0)
+        stats.gauge("a").set(1.0)
+        assert stats.gauges() == {"a": 1.0, "b": 2.0}
+        assert list(stats.gauges()) == ["a", "b"]
