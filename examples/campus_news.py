@@ -16,7 +16,10 @@ The script runs the full comparison on a Reality-calibrated campus trace
 - the refresh transmissions spent.
 
 Run:  python examples/campus_news.py   (takes ~1 minute)
+(Set REPRO_EXAMPLE_FAST=1 for a seconds-long smoke run, as CI does.)
 """
+
+import os
 
 import numpy as np
 
@@ -27,12 +30,15 @@ from repro.contacts.rates import mle_rates
 from repro.workloads.queries import schedule_queries
 
 DAY = 86400.0
-HORIZON = 14 * DAY
+#: CI smoke switch: small campus, two days instead of Reality-scale two weeks
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
+HORIZON = (2 if FAST else 14) * DAY
+PROFILE = "small" if FAST else "reality"
 
 
 def main() -> None:
     rng = np.random.default_rng(2012)
-    trace = get_profile("reality").generate(rng, duration=HORIZON)
+    trace = get_profile(PROFILE).generate(rng, duration=HORIZON)
     print(f"campus trace: {trace.num_nodes} devices, {len(trace)} contacts, "
           f"{trace.duration / DAY:.0f} days")
 

@@ -17,7 +17,10 @@ This example shows two things the quickstart does not:
   flooding buys robustness with redundancy.
 
 Run:  python examples/disaster_relief.py
+(Set REPRO_EXAMPLE_FAST=1 for a seconds-long smoke run, as CI does.)
 """
+
+import os
 
 import numpy as np
 
@@ -27,13 +30,15 @@ from repro.mobility.community import CommunityModel
 from repro.sim.network import BandwidthLimitedLink
 
 HOUR = 3600.0
-HORIZON = 48 * HOUR
+#: CI smoke switch: smaller teams, half a day instead of two
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
+HORIZON = (12 if FAST else 48) * HOUR
 
 
 def make_field_trace(rng: np.random.Generator):
     """Three 12-person field teams; liaisons shuttle between them."""
     model = CommunityModel(
-        n=36,
+        n=12 if FAST else 36,
         num_communities=3,
         intra_rate=6e-4,       # teammates meet every ~30 min
         inter_rate=2e-5,       # cross-team encounters are rare

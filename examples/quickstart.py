@@ -6,19 +6,24 @@ distributed refreshment scheme (HDR) next to the source-only baseline,
 and prints cache freshness and overhead for both.
 
 Run:  python examples/quickstart.py
+(Set REPRO_EXAMPLE_FAST=1 for a seconds-long smoke run, as CI does.)
 """
+
+import os
 
 import numpy as np
 
 from repro import DataCatalog, build_simulation, get_profile
 
 DAY = 86400.0
+#: CI smoke switch: shrink every example to run in seconds
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
 
 
 def main() -> None:
     # 1. A contact trace: 20 devices, two communities, two days.
     rng = np.random.default_rng(7)
-    trace = get_profile("small").generate(rng, duration=2 * DAY)
+    trace = get_profile("small").generate(rng, duration=(0.5 if FAST else 2) * DAY)
     print(f"trace: {trace.num_nodes} nodes, {len(trace)} contacts, "
           f"{trace.duration / 3600:.0f} h")
 

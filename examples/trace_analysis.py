@@ -8,8 +8,10 @@ contact rates, testing the exponential inter-contact hypothesis, and
 ranking nodes by the centrality metric NCL selection uses.
 
 Run:  python examples/trace_analysis.py
+(Set REPRO_EXAMPLE_FAST=1 for a seconds-long smoke run, as CI does.)
 """
 
+import os
 import tempfile
 from pathlib import Path
 
@@ -25,11 +27,14 @@ from repro.contacts.intercontact import (
 )
 
 DAY = 86400.0
+#: CI smoke switch: one day of the small profile instead of three of infocom06
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
 
 
 def main() -> None:
     rng = np.random.default_rng(3)
-    trace = get_profile("infocom06").generate(rng, duration=3 * DAY)
+    profile = "small" if FAST else "infocom06"
+    trace = get_profile(profile).generate(rng, duration=(1 if FAST else 3) * DAY)
 
     # -- statistics table (what experiment E1 prints) ----------------------
     print(format_table([{"trace": trace.name, **trace.stats().as_row()}],

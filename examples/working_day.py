@@ -10,7 +10,10 @@ routines' *averages* well enough for the hierarchy and the relay
 provisioning to work.
 
 Run:  python examples/working_day.py
+(Set REPRO_EXAMPLE_FAST=1 for a seconds-long smoke run, as CI does.)
 """
+
+import os
 
 import numpy as np
 
@@ -24,14 +27,16 @@ from repro.contacts.intercontact import (
 from repro.mobility.workingday import WorkingDayModel
 
 DAY = 86400.0
-HORIZON = 10 * DAY
+#: CI smoke switch: a smaller town over two days instead of ten
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
+HORIZON = (2 if FAST else 10) * DAY
 
 
 def main() -> None:
     rng = np.random.default_rng(40)
     model = WorkingDayModel(
-        n=40, num_offices=4, num_spots=3, household_size=2,
-        meeting_prob=0.15, evening_prob=0.3, rng=rng,
+        n=16 if FAST else 40, num_offices=2 if FAST else 4, num_spots=3,
+        household_size=2, meeting_prob=0.15, evening_prob=0.3, rng=rng,
     )
     trace = model.generate(HORIZON, rng)
     print(f"working-day trace: {trace.num_nodes} people, {len(trace)} "

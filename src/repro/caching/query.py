@@ -93,6 +93,8 @@ class QueryManager(ProtocolHandler):
         self.providers: list[AnswerProvider] = []
         if store is not None:
             self.providers.append(self._store_provider)
+        #: optional :class:`repro.obs.bus.EventBus` for query records
+        self.trace = None
 
     # -- wiring ----------------------------------------------------------
 
@@ -129,11 +131,24 @@ class QueryManager(ProtocolHandler):
         self.records.append(record)
         self._records_by_id[record.query_id] = record
         self.stats.counter("query.issued").add(1)
+        if self.trace is not None:
+            from repro.obs.records import QueryIssue
+
+            self.trace.emit(
+                QueryIssue(now, self.node.node_id, record.query_id, item_id)
+            )
 
         # Local hit: the requester itself may hold (or source) the item.
         answer = self._find_answer(item_id)
         if answer is not None:
             version, version_time = answer
+            if self.trace is not None:
+                from repro.obs.records import QueryHit
+
+                self.trace.emit(
+                    QueryHit(now, self.node.node_id, record.query_id,
+                             item_id, answer[0], True)
+                )
             self._record_answer(record, version, version_time, self.node.node_id, now)
             return record
 
@@ -192,9 +207,22 @@ class QueryManager(ProtocolHandler):
         answer = self._find_answer(item_id)
         if answer is not None:
             self._answered.add(query_id)
+            if self.trace is not None:
+                from repro.obs.records import QueryHit
+
+                self.trace.emit(
+                    QueryHit(now, self.node.node_id, query_id, item_id,
+                             answer[0], False)
+                )
             self._send_response(message, answer)
             return
         # Cannot answer: keep carrying the query.
+        if self.trace is not None:
+            from repro.obs.records import QueryMiss
+
+            self.trace.emit(
+                QueryMiss(now, self.node.node_id, query_id, item_id)
+            )
         self._carried[query_id] = message
         self._forwarded_to.setdefault(query_id, set()).add(sender.node_id)
         for peer_id in self.node.neighbors:
@@ -265,3 +293,11 @@ class QueryManager(ProtocolHandler):
         record.served_by = served_by
         self.stats.counter("query.completed").add(1)
         self.stats.tally("query.delay").observe(now - record.issued_at)
+        if self.trace is not None:
+            from repro.obs.records import QueryComplete
+
+            self.trace.emit(
+                QueryComplete(now, record.requester, record.query_id,
+                              record.item_id, served_by,
+                              now - record.issued_at)
+            )

@@ -52,6 +52,12 @@ class CacheStore:
         #: a listener sees the store's exact contents incrementally --
         #: the freshness accountant keys off this.
         self.change_listener: Optional[ChangeListener] = None
+        #: Optional :class:`repro.obs.bus.EventBus`, plus the node id used
+        #: to attribute records.  Separate from ``change_listener`` (whose
+        #: single slot the freshness accountant occupies, and whose
+        #: signature cannot distinguish evict/expire/remove).
+        self.trace = None
+        self.trace_node: int = -1
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -93,18 +99,38 @@ class CacheStore:
             self._entries[entry.item_id] = entry
             if self.change_listener is not None:
                 self.change_listener(entry.item_id, current, entry, now)
+            if self.trace is not None:
+                from repro.obs.records import CachePut
+
+                self.trace.emit(
+                    CachePut(now, self.trace_node, entry.item_id,
+                             entry.version, True)
+                )
             return True
         if self.capacity is not None and len(self._entries) >= self.capacity:
             self._evict(now)
         self._entries[entry.item_id] = entry
         if self.change_listener is not None:
             self.change_listener(entry.item_id, None, entry, now)
+        if self.trace is not None:
+            from repro.obs.records import CachePut
+
+            self.trace.emit(
+                CachePut(now, self.trace_node, entry.item_id,
+                         entry.version, False)
+            )
         return True
 
     def remove(self, item_id: int) -> bool:
         old = self._entries.pop(item_id, None)
         if old is not None and self.change_listener is not None:
             self.change_listener(item_id, old, None, math.nan)
+        if old is not None and self.trace is not None:
+            from repro.obs.records import CacheRemove
+
+            self.trace.emit(
+                CacheRemove(math.nan, self.trace_node, item_id, old.version)
+            )
         return old is not None
 
     def drop_expired(self, now: float, items: dict[int, DataItem]) -> int:
@@ -118,6 +144,12 @@ class CacheStore:
             old = self._entries.pop(item_id)
             if self.change_listener is not None:
                 self.change_listener(item_id, old, None, now)
+            if self.trace is not None:
+                from repro.obs.records import CacheExpire
+
+                self.trace.emit(
+                    CacheExpire(now, self.trace_node, item_id, old.version)
+                )
         return len(dead)
 
     def _evict(self, now: float) -> None:
@@ -137,3 +169,9 @@ class CacheStore:
         self.evictions += 1
         if self.change_listener is not None:
             self.change_listener(victim.item_id, victim, None, now)
+        if self.trace is not None:
+            from repro.obs.records import CacheEvict
+
+            self.trace.emit(
+                CacheEvict(now, self.trace_node, victim.item_id, victim.version)
+            )

@@ -5,6 +5,8 @@
     repro experiments                 # list experiment ids and titles
     repro run E3 [--fast] [-j 4]      # run one experiment, print its table
     repro run all [--fast]            # run every experiment
+    repro run E4 --trace out.jsonl    # also write per-run event traces
+    repro report out.jsonl            # message-flow/freshness summary of a trace
     repro trace-stats reality         # statistics of a calibrated profile
     repro analyze-trace contacts.txt  # stats/centrality of a real trace file
     repro simulate --scheme hdr ...   # one ad-hoc simulation run
@@ -43,6 +45,8 @@ def _resolve_jobs_or_complain(jobs) -> Optional[int]:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from repro.experiments import EXPERIMENTS, Settings
 
     if _resolve_jobs_or_complain(args.jobs) is None:
@@ -53,16 +57,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiment(s): {unknown}; known: {list(EXPERIMENTS)}")
         return 2
-    for exp_id in ids:
-        result = EXPERIMENTS[exp_id](settings, jobs=args.jobs)
-        print(result)
-        if args.export:
-            from repro.analysis.export import export_result
+    if args.trace:
+        from repro.experiments.runner import trace_output
 
-            written = export_result(result, args.export)
-            for path in written:
-                print(f"exported {path}")
-        print()
+        context = trace_output(args.trace)
+    else:
+        context = nullcontext()
+    with context as sink:
+        for exp_id in ids:
+            result = EXPERIMENTS[exp_id](settings, jobs=args.jobs)
+            print(result)
+            if args.export:
+                from repro.analysis.export import export_result
+
+                written = export_result(result, args.export)
+                for path in written:
+                    print(f"exported {path}")
+            print()
+    if sink is not None and sink.output is not None:
+        print(f"trace written to {sink.output} "
+              f"({len(sink.entries)} file(s); inspect with 'repro report')")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.export import load_trace, write_chrome_trace
+    from repro.obs.report import format_trace_report
+
+    try:
+        records = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    print(format_trace_report(records, title=args.path))
+    if args.chrome:
+        count = write_chrome_trace(records, args.chrome)
+        print(f"\nwrote {args.chrome} ({count} events; open in "
+              "chrome://tracing or https://ui.perfetto.dev)")
     return 0
 
 
@@ -125,7 +156,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seeds=(args.seed,),
     )
     trace = make_trace(settings, args.seed)
-    metrics = run_once(trace, args.scheme, settings, seed=args.seed, with_queries=True)
+    metrics = run_once(trace, args.scheme, settings, seed=args.seed,
+                       with_queries=True, trace_path=args.trace)
     print(f"scheme            : {metrics.scheme}")
     print(f"freshness         : {metrics.freshness:.4f}")
     print(f"validity          : {metrics.validity:.4f}")
@@ -135,6 +167,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"queries issued    : {metrics.queries_issued}")
     print(f"query answered    : {metrics.query_answer_ratio:.4f}")
     print(f"query fresh ratio : {metrics.query_fresh_ratio:.4f}")
+    if args.trace:
+        print(f"trace written to  : {args.trace}")
     return 0
 
 
@@ -163,6 +197,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"trace_gen : {name}: vectorised {row['vectorised_seconds']:.2f}s, "
               f"scalar {row['scalar_seconds']:.2f}s "
               f"({row['speedup']:.2f}x, identical={row['identical']})")
+    obs = report["obs"]
+    print(f"obs       : untraced {obs['untraced_seconds']:.2f}s, "
+          f"traced {obs['traced_seconds']:.2f}s "
+          f"({obs['overhead_pct']:+.1f}%, {obs['records']} records, "
+          f"identical={obs['identical']})")
     print(f"wrote {args.output}")
     status = 0
     if args.check_baseline is not None:
@@ -176,6 +215,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if any(not row["identical"]
            for row in report["trace_gen"]["profiles"].values()):
         print("FAIL: vectorised trace generation diverged from scalar")
+        status = 1
+    if not report["obs"]["identical"]:
+        print("FAIL: traced run metrics diverged from the untraced run")
         status = 1
     return status
 
@@ -223,6 +265,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--jobs", "-j", type=int, default=None,
                             help="parallel worker processes (0 or -1 = one "
                             "per CPU; default: $REPRO_JOBS, else serial)")
+    run_parser.add_argument("--trace", metavar="FILE", default=None,
+                            help="write per-run JSONL event traces (one file "
+                            "per (seed, scheme) job plus a merged manifest)")
+
+    report_parser = sub.add_parser(
+        "report", help="summarise a JSONL event trace (or manifest)"
+    )
+    report_parser.add_argument("path", help="trace .jsonl or *.manifest.json")
+    report_parser.add_argument("--chrome", metavar="FILE", default=None,
+                               help="also convert to Chrome trace-event JSON")
 
     stats_parser = sub.add_parser("trace-stats", help="statistics of a profile")
     stats_parser.add_argument("profile")
@@ -247,6 +299,8 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--refresh-hours", type=float, default=4.0)
     sim_parser.add_argument("--p-req", type=float, default=0.9)
     sim_parser.add_argument("--seed", type=int, default=1)
+    sim_parser.add_argument("--trace", metavar="FILE", default=None,
+                            help="write the run's JSONL event trace to FILE")
 
     bench_parser = sub.add_parser(
         "bench", help="engine/sweep/scheme/trace-gen benchmarks"
@@ -283,6 +337,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "experiments": _cmd_experiments,
         "run": _cmd_run,
+        "report": _cmd_report,
         "trace-stats": _cmd_trace_stats,
         "analyze-trace": _cmd_analyze_trace,
         "simulate": _cmd_simulate,

@@ -204,6 +204,8 @@ class HdrRefreshHandler(ProtocolHandler):
         #: at drain time skips them (a version uniquely determines its
         #: version_time, hence its expiry).
         self._task_expiry: list[tuple[float, tuple[int, int], int]] = []
+        #: optional :class:`repro.obs.bus.EventBus` for task records
+        self.trace = None
 
     # -- versions this node knows ------------------------------------------
 
@@ -294,8 +296,16 @@ class HdrRefreshHandler(ProtocolHandler):
             self._recruitable.add(key)
         else:
             self._recruitable.discard(key)
+        if self.trace is not None:
+            from repro.obs.records import TaskCreate
 
-    def _drop_task(self, key: tuple[int, int]) -> None:
+            self.trace.emit(
+                TaskCreate(self.node.sim.now, self.node.node_id, item_id,
+                           target, version, may_recruit)
+            )
+
+    def _drop_task(self, key: tuple[int, int], reason: str = "delivered") -> None:
+        task = self.tasks[key]
         del self.tasks[key]
         bucket = self._by_target.get(key[1])
         if bucket is not None:
@@ -303,6 +313,13 @@ class HdrRefreshHandler(ProtocolHandler):
             if not bucket:
                 del self._by_target[key[1]]
         self._recruitable.discard(key)
+        if self.trace is not None:
+            from repro.obs.records import TaskDrop
+
+            self.trace.emit(
+                TaskDrop(self.node.sim.now, self.node.node_id, key[0],
+                         key[1], task.version, reason)
+            )
 
     # -- contact machinery ----------------------------------------------------
 
@@ -336,7 +353,7 @@ class HdrRefreshHandler(ProtocolHandler):
             _, key, version = heapq.heappop(expiry_heap)
             stale = self.tasks.get(key)
             if stale is not None and stale.version == version:
-                self._drop_task(key)
+                self._drop_task(key, reason="expired")
                 self.stats.counter("refresh.tasks_expired").add(1)
         if not self.tasks:
             return
@@ -359,7 +376,7 @@ class HdrRefreshHandler(ProtocolHandler):
             item = self.catalog.get(item_id)
             if now >= task.version_time + item.lifetime:
                 # The version expired in transit; delivering it is useless.
-                self._drop_task(key)
+                self._drop_task(key, reason="expired")
                 self.stats.counter("refresh.tasks_expired").add(1)
                 continue
             if pid == target:
@@ -374,7 +391,7 @@ class HdrRefreshHandler(ProtocolHandler):
         for (item_id, target), task in list(self.tasks.items()):
             item = self.catalog.get(item_id)
             if now >= task.version_time + item.lifetime:
-                self._drop_task((item_id, target))
+                self._drop_task((item_id, target), reason="expired")
                 self.stats.counter("refresh.tasks_expired").add(1)
                 continue
             if peer.node_id == target:
@@ -393,7 +410,7 @@ class HdrRefreshHandler(ProtocolHandler):
         if isinstance(peer_handler, HdrRefreshHandler):
             if peer_handler.known_version(item.item_id) >= task.version:
                 # Another copy beat us to it: the handshake suppresses the send.
-                self._drop_task((item.item_id, target))
+                self._drop_task((item.item_id, target), reason="suppressed")
                 self.stats.counter("refresh.suppressed").add(1)
                 return
         message = Message(

@@ -57,6 +57,8 @@ from repro.core.refresh import (
 )
 from repro.core.replication import RelayPlan, decompose_requirement, plan_edge
 from repro.mobility.trace import ContactTrace
+from repro.obs.bus import EventBus, tee_online_listener
+from repro.obs.registry import MetricsRegistry
 from repro.routing.epidemic import EpidemicRouting
 from repro.sim.engine import Simulator
 from repro.sim.network import ContactNetwork, LinkModel
@@ -166,6 +168,9 @@ class SchemeRuntime:
     stats: StatsRegistry
     query_managers: dict[int, QueryManager] = field(default_factory=dict)
     accountant: Optional[FreshnessAccountant] = None
+    #: the :class:`~repro.obs.bus.EventBus` every instrumentation point
+    #: was wired to, or ``None`` for an untraced (zero-overhead) run
+    trace: Optional[EventBus] = None
 
     def run(self, until: Optional[float] = None) -> float:
         """Start the network and advance the simulation to ``until``."""
@@ -322,6 +327,7 @@ def build_simulation(
     store_capacity: Optional[int] = None,
     eviction_policy: EvictionPolicy = EvictionPolicy.LRU,
     ncl_metric: str = "contact",
+    bus: Optional[EventBus] = None,
 ) -> SchemeRuntime:
     """Wire a complete refresh simulation over ``trace``.
 
@@ -330,10 +336,19 @@ def build_simulation(
     (otherwise the top ``num_caching_nodes`` by contact centrality,
     excluding sources, are used).  ``rates`` defaults to the whole-trace
     MLE estimate.
+
+    ``bus`` wires every instrumentation point (engine, network, stores,
+    refresh handlers, query managers, churn) to an
+    :class:`~repro.obs.bus.EventBus`.  Tracing is passive: it consumes
+    no randomness and changes no event ordering, so a traced run
+    produces metrics identical to an untraced one.  (``msg.create``
+    records are scoped per run by the caller via
+    :func:`repro.sim.messages.set_message_trace`, because the hook is
+    process-global.)
     """
     config = SCHEMES[scheme] if isinstance(scheme, str) else scheme
     rng = np.random.default_rng(seed)
-    stats = StatsRegistry()
+    stats = MetricsRegistry()
     history = VersionHistory()
     update_log: list[RefreshUpdate] = []
 
@@ -396,6 +411,14 @@ def build_simulation(
     for nid in caching_nodes:
         stores[nid].change_listener = accountant.store_listener(nid)
     network.add_online_listener(accountant.online_changed)
+    if bus is not None:
+        # Wired before seeding/handlers so the warm-start puts are traced.
+        sim.trace = bus
+        network.trace = bus
+        network.add_online_listener(tee_online_listener(bus))
+        for nid in caching_nodes:
+            stores[nid].trace = bus
+            stores[nid].trace_node = nid
     refresh_handlers: dict[int, HdrRefreshHandler | FloodingRefreshHandler] = {}
     if config.structure in ("tree", "star"):
         for nid, node in nodes.items():
@@ -409,6 +432,7 @@ def build_simulation(
                 rates=rates,
                 relay_budget=config.effective_relay_budget,
             )
+            handler.trace = bus
             node.add_handler(handler)
             refresh_handlers[nid] = handler
     elif config.structure == "flood":
@@ -468,6 +492,7 @@ def build_simulation(
                 query_ttl=query_ttl,
                 stats=stats,
             )
+            manager.trace = bus
             node.add_handler(manager)
             query_managers[nid] = manager
             source_handler = source_handlers.get(nid)
@@ -508,6 +533,7 @@ def build_simulation(
         stats=stats,
         query_managers=query_managers,
         accountant=accountant,
+        trace=bus,
     )
 
 

@@ -1,6 +1,7 @@
-"""Performance benchmarks: engine, sweep, scheme bookkeeping, trace gen.
+"""Performance benchmarks: engine, sweep, scheme bookkeeping, trace gen,
+and observability overhead.
 
-Four measurements back the performance claims in the README:
+Five measurements back the performance claims in the README:
 
 * **engine micro-benchmark** -- a heap-heavy synthetic workload (many
   pending self-rescheduling timers, a sprinkling of cancellations) run
@@ -28,6 +29,14 @@ Four measurements back the performance claims in the README:
 * **trace-gen benchmark** -- synthetic trace generation per calibration
   profile, vectorised vs scalar assembly, with a bit-identity assertion
   (both paths consume the RNG substream identically).
+
+* **obs benchmark** -- one reference run untraced vs with a full
+  :mod:`repro.obs` event trace.  Tracing must be passive: the two
+  metric sets are compared field-for-field (``identical``), and the
+  timing quantifies the tracing-on overhead.  (Tracing-*off* cost is
+  already covered: every other benchmark runs untraced through the
+  instrumented code, so the engine baseline check would catch a
+  disabled-path regression.)
 
 ``repro bench`` runs all of them and writes ``BENCH_runner.json``;
 ``repro bench --quick`` shrinks the workloads for CI smoke use.
@@ -378,6 +387,56 @@ def trace_gen_benchmark(quick: bool = False, repeats: int = 2) -> dict:
     return report
 
 
+def obs_benchmark(quick: bool = False, repeats: int = 2) -> dict:
+    """Traced vs untraced reference run: metric identity plus overhead.
+
+    Runs one reference (seed, scheme) simulation untraced and again with
+    a full event trace written to a scratch JSONL file.  The two metric
+    sets must be field-identical (``RunMetrics.same_as`` -- tracing is
+    passive by design); the timings quantify the cost of tracing *on*.
+    The cost of tracing *off* is covered by the engine/scheme benchmarks,
+    which run untraced through the same instrumented code.
+    """
+    import tempfile
+
+    from repro.experiments.runner import make_trace, run_once
+
+    settings = reference_settings(quick).with_(seeds=(1,))
+    if quick:
+        repeats = 1
+    seed = settings.seeds[0]
+    trace = make_trace(settings, seed)
+
+    def timed(trace_path):
+        start = time.perf_counter()
+        metrics = run_once(trace, "hdr", settings, seed=seed,
+                           with_queries=True, trace_path=trace_path)
+        return time.perf_counter() - start, metrics
+
+    untraced_times, traced_times = [], []
+    untraced = traced = None
+    records = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        scratch = os.path.join(tmp, "bench-trace.jsonl")
+        for _ in range(repeats):
+            elapsed, untraced = timed(None)
+            untraced_times.append(elapsed)
+            elapsed, traced = timed(scratch)
+            traced_times.append(elapsed)
+        with open(scratch, "r", encoding="utf-8") as handle:
+            records = sum(1 for line in handle if line.strip())
+    untraced_s, traced_s = min(untraced_times), min(traced_times)
+    return {
+        "scheme": "hdr",
+        "seed": seed,
+        "records": records,
+        "untraced_seconds": round(untraced_s, 3),
+        "traced_seconds": round(traced_s, 3),
+        "overhead_pct": round((traced_s / untraced_s - 1.0) * 100.0, 1),
+        "identical": untraced.same_as(traced),
+    }
+
+
 def check_engine_regression(
     report: dict, baseline_path: str, threshold: float = 0.30
 ) -> tuple[bool, str]:
@@ -419,6 +478,7 @@ def run_benchmarks(jobs: Optional[int] = None,
         "sweep": sweep_benchmark(jobs=jobs),
         "scheme": scheme_benchmark(quick=quick),
         "trace_gen": trace_gen_benchmark(quick=quick),
+        "obs": obs_benchmark(quick=quick),
     }
     if path is not None:
         with open(path, "w", encoding="utf-8") as handle:

@@ -114,6 +114,10 @@ class Job:
     catalog: "DataCatalog"
     with_queries: bool = False
     num_caching_nodes: Optional[int] = None
+    #: JSONL trace file for this job, allocated by the parent's
+    #: :class:`~repro.experiments.runner.TraceSink` (workers never see
+    #: the parent's sink -- the path travels inside the spec)
+    trace_path: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -142,6 +146,7 @@ def execute_job(job: Job) -> "RunMetrics":
         catalog=job.catalog,
         num_caching_nodes=job.num_caching_nodes,
         rates=job.artifacts.rates,
+        trace_path=job.trace_path,
     )
 
 
@@ -151,8 +156,12 @@ def build_jobs(points: Sequence[SweepPoint]) -> list[Job]:
     Order is (point, seed, scheme) -- exactly the nesting of the serial
     loops in ``run_replicated`` and the per-experiment sweeps.
     """
+    from repro.experiments import runner as runner_mod
     from repro.experiments.runner import make_catalog
 
+    # Allocate per-job trace files in the parent: the sink is a plain
+    # module global and does not survive pickling into workers.
+    sink = runner_mod._TRACE_SINK
     jobs: list[Job] = []
     job_id = 0
     for point_index, point in enumerate(points):
@@ -161,6 +170,11 @@ def build_jobs(points: Sequence[SweepPoint]) -> list[Job]:
             artifacts = seed_artifacts(settings, seed)
             catalog = make_catalog(settings, artifacts.sources(settings.num_sources))
             for scheme in point.schemes:
+                trace_path = (
+                    str(sink.allocate(point_index, seed, scheme))
+                    if sink is not None
+                    else None
+                )
                 jobs.append(
                     Job(
                         job_id=job_id,
@@ -172,6 +186,7 @@ def build_jobs(points: Sequence[SweepPoint]) -> list[Job]:
                         catalog=catalog,
                         with_queries=point.with_queries,
                         num_caching_nodes=point.num_caching_nodes,
+                        trace_path=trace_path,
                     )
                 )
                 job_id += 1

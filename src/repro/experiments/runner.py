@@ -19,7 +19,11 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import os
+import re
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Optional, Sequence
 
 import numpy as np
@@ -160,6 +164,92 @@ def make_catalog(settings: Settings, sources: Sequence[int]) -> DataCatalog:
     )
 
 
+class TraceSink:
+    """Allocates per-job trace files under one user-requested path.
+
+    ``repro run E4 --trace out.jsonl`` may execute many (point, seed,
+    scheme) jobs; each gets its own JSONL file next to ``out.jsonl``
+    (``out-p0-s1-hdr.jsonl`` ...), and :meth:`finalize` either renames a
+    single file to the requested path or writes ``out.manifest.json``
+    indexing them all (:func:`repro.obs.export.load_trace` merges a
+    manifest transparently).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.entries: list[dict] = []
+        #: the path ``finalize`` produced: the single trace file or the
+        #: manifest (``None`` until finalized, or if nothing was traced)
+        self.output: Optional[Path] = None
+
+    def allocate(self, point: int, seed: int, scheme: "str | SchemeConfig") -> Path:
+        """Reserve the trace file for one (point, seed, scheme) job."""
+        name = scheme if isinstance(scheme, str) else scheme.name
+        safe = re.sub(r"[^A-Za-z0-9_.-]+", "-", name).strip("-") or "scheme"
+        stem = self.path.stem or "trace"
+        taken = {entry["path"] for entry in self.entries}
+        base = f"{stem}-p{point}-s{seed}-{safe}"
+        file_name = f"{base}.jsonl"
+        suffix = 2
+        while file_name in taken:
+            file_name = f"{base}-{suffix}.jsonl"
+            suffix += 1
+        self.entries.append(
+            {"point": point, "seed": seed, "scheme": name, "path": file_name}
+        )
+        return self.path.parent / file_name
+
+    def finalize(self) -> Optional[Path]:
+        """Rename a lone trace to the requested path, or write the manifest."""
+        from repro.obs.export import write_manifest
+
+        if not self.entries:
+            return None
+        if len(self.entries) == 1:
+            only = self.path.parent / self.entries[0]["path"]
+            if only.exists() and only != self.path:
+                os.replace(only, self.path)
+            self.output = self.path
+            return self.output
+        for entry in self.entries:
+            file_path = self.path.parent / entry["path"]
+            if file_path.exists():
+                with open(file_path, "r", encoding="utf-8") as handle:
+                    entry["records"] = sum(1 for line in handle if line.strip())
+        manifest = self.path.with_name(f"{self.path.stem}.manifest.json")
+        write_manifest(manifest, self.entries)
+        self.output = manifest
+        return self.output
+
+
+#: The active sink, set by :func:`trace_output`.  ``run_once`` (serial)
+#: and ``build_jobs`` (parallel) allocate their per-job trace files from
+#: it, which is how ``--trace`` reaches every experiment without
+#: threading a parameter through each experiment's signature.
+_TRACE_SINK: Optional[TraceSink] = None
+
+
+@contextmanager
+def trace_output(path: str | Path):
+    """Trace every simulation run in the with-block to JSONL files.
+
+    Yields the :class:`TraceSink`; on exit the sink finalizes (single
+    file renamed to ``path``, or a ``*.manifest.json`` written next to
+    it).  Not reentrant; worker processes never see the parent's sink
+    (jobs carry explicit paths instead).
+    """
+    global _TRACE_SINK
+    if _TRACE_SINK is not None:
+        raise RuntimeError("trace_output() is not reentrant")
+    sink = TraceSink(path)
+    _TRACE_SINK = sink
+    try:
+        yield sink
+    finally:
+        _TRACE_SINK = None
+        sink.finalize()
+
+
 def run_once(
     trace: ContactTrace,
     scheme: str | SchemeConfig,
@@ -169,37 +259,65 @@ def run_once(
     catalog: Optional[DataCatalog] = None,
     num_caching_nodes: Optional[int] = None,
     rates: Optional[RateTable] = None,
+    trace_path: Optional[str | Path] = None,
 ) -> RunMetrics:
     """Wire, run and score one simulation.
 
     ``rates`` short-circuits the whole-trace MLE estimation inside
     :func:`build_simulation`; pass the cached per-seed estimate when the
     same trace is run under several schemes.
+
+    ``trace_path`` writes the run's full event trace (JSONL) there; when
+    omitted but a :func:`trace_output` sink is active, a per-job file is
+    allocated from the sink.  Tracing is passive -- the returned metrics
+    are identical to an untraced run's.
     """
     if catalog is None:
         catalog = make_catalog(settings, choose_sources(trace, settings))
-    runtime = build_simulation(
-        trace,
-        catalog,
-        scheme=scheme,
-        num_caching_nodes=num_caching_nodes or settings.num_caching_nodes,
-        rates=rates,
-        seed=seed,
-        with_queries=with_queries,
-        refresh_jitter=settings.refresh_jitter,
-    )
-    horizon = settings.duration
-    runtime.install_freshness_probe(interval=settings.probe_interval, until=horizon)
-    if with_queries:
-        popularity = ZipfPopularity(catalog.item_ids, s=settings.zipf_exponent)
-        schedule_queries(
-            runtime,
-            rate_per_node=settings.query_rate,
-            duration=horizon,
-            rng=np.random.default_rng(seed * 7919 + 17),
-            popularity=popularity,
+    if trace_path is None and _TRACE_SINK is not None:
+        trace_path = _TRACE_SINK.allocate(0, seed, scheme)
+    bus = None
+    if trace_path is not None:
+        from repro.obs.bus import EventBus
+        from repro.sim.messages import set_message_trace
+
+        bus = EventBus()
+        # The msg.create hook is process-global (Message construction
+        # sites are spread across every protocol); scope it to this run.
+        set_message_trace(bus)
+    try:
+        runtime = build_simulation(
+            trace,
+            catalog,
+            scheme=scheme,
+            num_caching_nodes=num_caching_nodes or settings.num_caching_nodes,
+            rates=rates,
+            seed=seed,
+            with_queries=with_queries,
+            refresh_jitter=settings.refresh_jitter,
+            bus=bus,
         )
-    runtime.run(until=horizon)
+        horizon = settings.duration
+        runtime.install_freshness_probe(interval=settings.probe_interval, until=horizon)
+        if with_queries:
+            popularity = ZipfPopularity(catalog.item_ids, s=settings.zipf_exponent)
+            schedule_queries(
+                runtime,
+                rate_per_node=settings.query_rate,
+                duration=horizon,
+                rng=np.random.default_rng(seed * 7919 + 17),
+                popularity=popularity,
+            )
+        runtime.run(until=horizon)
+    finally:
+        if bus is not None:
+            from repro.sim.messages import set_message_trace
+
+            set_message_trace(None)
+    if bus is not None:
+        from repro.obs.export import write_jsonl
+
+        write_jsonl(bus.records, trace_path)
 
     warmup = settings.warmup_fraction * horizon
     fresh = freshness_summary(runtime, t0=warmup, t1=horizon)

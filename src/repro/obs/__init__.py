@@ -1,0 +1,51 @@
+"""Observability: structured event tracing, metrics, and run reports.
+
+The three pieces:
+
+- :mod:`repro.obs.bus` -- the :class:`EventBus` that instrumentation
+  points across the engine, network, stores, refresh handlers, and
+  query managers emit typed :mod:`repro.obs.records` onto.  Off by
+  default; ``build_simulation(..., bus=EventBus())`` turns it on for
+  one run without perturbing the simulation (traced and untraced runs
+  produce identical metrics).
+- :mod:`repro.obs.registry` -- :class:`MetricsRegistry`, the named
+  counter/gauge/histogram namespace every runtime records into,
+  snapshotable at any simulation time.
+- :mod:`repro.obs.export` / :mod:`repro.obs.report` -- JSONL and
+  Chrome trace-event exporters plus the ``repro report`` renderer.
+
+See ``docs/OBSERVABILITY.md`` for the architecture and record schema.
+"""
+
+from repro.obs.bus import EventBus, tee_online_listener
+from repro.obs.export import (
+    chrome_trace,
+    load_trace,
+    read_jsonl,
+    read_manifest,
+    summarize_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_manifest,
+)
+from repro.obs.records import RECORD_TYPES, TraceRecord, record_from_dict
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import format_trace_report
+
+__all__ = [
+    "EventBus",
+    "MetricsRegistry",
+    "RECORD_TYPES",
+    "TraceRecord",
+    "chrome_trace",
+    "format_trace_report",
+    "load_trace",
+    "read_jsonl",
+    "read_manifest",
+    "record_from_dict",
+    "summarize_trace",
+    "tee_online_listener",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_manifest",
+]

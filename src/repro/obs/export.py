@@ -1,0 +1,263 @@
+"""Trace exporters: JSONL, Chrome trace-event format, summary tables.
+
+Three output formats for a bus's records:
+
+- **JSONL** (:func:`write_jsonl` / :func:`read_jsonl`) -- one record per
+  line, ``kind`` plus the record's fields; the round trip reconstructs
+  the exact typed records.  This is what ``repro run --trace`` writes
+  (one file per (seed, scheme) job, plus a ``*.manifest.json`` index).
+- **Chrome trace-event JSON** (:func:`chrome_trace`) -- loadable in
+  ``chrome://tracing`` / Perfetto.  Each simulation node becomes a
+  process (pid = node id) with one lane (tid) per record family, so a
+  node's contacts, cache churn, and message activity line up on a
+  shared timeline.  Contacts render as duration slices, everything else
+  as instant events.
+- **summary dict** (:func:`summarize_trace`) -- the per-run aggregate
+  (``repro report`` renders it; the manifest embeds the counts).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.obs.records import TraceRecord, record_from_dict
+
+#: Chrome trace lanes (tid) per record family, per node-process.
+_LANES = {
+    "contact": (0, "contacts"),
+    "msg": (1, "messages"),
+    "cache": (2, "cache"),
+    "task": (3, "refresh tasks"),
+    "query": (4, "queries"),
+    "node": (5, "churn"),
+    "engine": (6, "engine"),
+}
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def write_jsonl(records: Iterable[TraceRecord], path: str | Path) -> int:
+    """Write one JSON object per record; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record.as_dict()))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> list[TraceRecord]:
+    """Load a JSONL trace back into typed records."""
+    records: list[TraceRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(record_from_dict(json.loads(line)))
+    return records
+
+
+def write_manifest(path: str | Path, entries: Sequence[dict]) -> None:
+    """Write the merged-trace manifest for a multi-job run.
+
+    Each entry describes one per-(seed, scheme) JSONL file:
+    ``{"seed", "scheme", "point", "path", "records"}``.
+    """
+    payload = {"format": "repro-trace-manifest", "version": 1,
+               "files": list(entries)}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def read_manifest(path: str | Path) -> list[dict]:
+    """Entries of a manifest written by :func:`write_manifest`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != "repro-trace-manifest":
+        raise ValueError(f"{path} is not a repro trace manifest")
+    return list(payload["files"])
+
+
+def load_trace(path: str | Path) -> list[TraceRecord]:
+    """Load records from a JSONL trace *or* a manifest (all files merged).
+
+    Manifest entries resolve relative to the manifest's directory.
+    """
+    path = Path(path)
+    if path.suffix == ".json":
+        records: list[TraceRecord] = []
+        for entry in read_manifest(path):
+            file_path = Path(entry["path"])
+            if not file_path.is_absolute():
+                file_path = path.parent / file_path
+            records.extend(read_jsonl(file_path))
+        return records
+    return read_jsonl(path)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format
+# ---------------------------------------------------------------------------
+
+
+def _lane(kind: str) -> tuple[int, str]:
+    return _LANES.get(kind.split(".", 1)[0], (7, "other"))
+
+
+def _node_events(record: TraceRecord) -> list[tuple[int, dict]]:
+    """(node id, extra fields) pairs for the Chrome events of a record."""
+    data = record.as_dict()
+    kind = record.kind
+    if kind == "contact.open":
+        dur = max(float(data["duration"]), 0.0) * 1e6
+        return [(data["a"], {"ph": "X", "dur": dur}),
+                (data["b"], {"ph": "X", "dur": dur})]
+    if kind == "contact.close":
+        return [(data["a"], {"ph": "i", "s": "t"}),
+                (data["b"], {"ph": "i", "s": "t"})]
+    if kind in ("msg.tx", "msg.drop"):
+        return [(data["sender"], {"ph": "i", "s": "t"})]
+    if kind == "msg.rx":
+        return [(data["receiver"], {"ph": "i", "s": "t"})]
+    if kind == "msg.create":
+        return [(data["src"], {"ph": "i", "s": "t"})]
+    node = data.get("node")
+    if node is None:
+        return []  # engine.run and friends carry no node
+    return [(node, {"ph": "i", "s": "t"})]
+
+
+def chrome_trace(records: Iterable[TraceRecord]) -> dict:
+    """Records as a ``chrome://tracing`` / Perfetto trace-event dict.
+
+    Keyed by node: every simulation node is a trace process, with one
+    thread lane per record family.  Records with a non-finite timestamp
+    (e.g. unstamped ``cache.remove``) are skipped -- the viewer requires
+    finite microsecond timestamps.
+    """
+    events: list[dict] = []
+    seen: set[tuple[int, int]] = set()
+    for record in records:
+        if not math.isfinite(record.time):
+            continue
+        ts = record.time * 1e6
+        tid, lane_name = _lane(record.kind)
+        args = {k: v for k, v in record.as_dict().items()
+                if k not in ("kind", "time") and v is not None}
+        for node, extra in _node_events(record):
+            if (node, tid) not in seen:
+                seen.add((node, tid))
+                events.append({"name": "process_name", "ph": "M", "pid": node,
+                               "tid": 0, "args": {"name": f"node {node}"}})
+                events.append({"name": "thread_name", "ph": "M", "pid": node,
+                               "tid": tid, "args": {"name": lane_name}})
+            events.append({"name": record.kind, "cat": lane_name, "ts": ts,
+                           "pid": node, "tid": tid, "args": args, **extra})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: Iterable[TraceRecord],
+                       path: str | Path) -> int:
+    """Write :func:`chrome_trace` JSON; returns the event count."""
+    trace = chrome_trace(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)
+        handle.write("\n")
+    return len(trace["traceEvents"])
+
+
+# ---------------------------------------------------------------------------
+# Summary
+# ---------------------------------------------------------------------------
+
+
+def summarize_trace(records: Sequence[TraceRecord]) -> dict:
+    """Aggregate a trace into the dict ``repro report`` renders.
+
+    Includes record counts per kind, the per-message-kind flow table
+    (created/sent/received/dropped/bytes), the busiest sender->receiver
+    pairs, the query funnel, and an hourly freshness timeline built from
+    cache activity (upgrades vs expirations).
+    """
+    counts: dict[str, int] = {}
+    flows: dict[str, dict[str, float]] = {}
+    pairs: dict[tuple[int, int], int] = {}
+    nodes: set[int] = set()
+    t_min, t_max = math.inf, -math.inf
+    timeline: dict[int, dict[str, int]] = {}
+    queries = {"issued": 0, "hits": 0, "misses": 0, "completed": 0}
+
+    def flow(msg_kind: str) -> dict[str, float]:
+        entry = flows.get(msg_kind)
+        if entry is None:
+            entry = flows[msg_kind] = {
+                "created": 0, "sent": 0, "received": 0, "dropped": 0,
+                "bytes": 0,
+            }
+        return entry
+
+    for record in records:
+        counts[record.kind] = counts.get(record.kind, 0) + 1
+        time = record.time
+        if math.isfinite(time):
+            t_min = min(t_min, time)
+            t_max = max(t_max, time)
+        kind = record.kind
+        data = record.as_dict()
+        for key in ("node", "a", "b", "sender", "receiver", "src"):
+            value = data.get(key)
+            if value is not None:
+                nodes.add(value)
+        if kind == "msg.create":
+            flow(data["msg_kind"])["created"] += 1
+        elif kind == "msg.tx":
+            entry = flow(data["msg_kind"])
+            entry["sent"] += 1
+            entry["bytes"] += data["size"]
+            pair = (data["sender"], data["receiver"])
+            pairs[pair] = pairs.get(pair, 0) + 1
+        elif kind == "msg.rx":
+            flow(data["msg_kind"])["received"] += 1
+        elif kind == "msg.drop":
+            flow(data["msg_kind"])["dropped"] += 1
+        elif kind in ("cache.put", "cache.expire", "cache.evict",
+                      "cache.remove") and math.isfinite(time):
+            hour = int(time // 3600.0)
+            bucket = timeline.setdefault(
+                hour, {"puts": 0, "upgrades": 0, "expired": 0, "lost": 0}
+            )
+            if kind == "cache.put":
+                bucket["puts"] += 1
+                if data["upgrade"]:
+                    bucket["upgrades"] += 1
+            elif kind == "cache.expire":
+                bucket["expired"] += 1
+            else:
+                bucket["lost"] += 1
+        elif kind == "query.issue":
+            queries["issued"] += 1
+        elif kind == "query.hit":
+            queries["hits"] += 1
+        elif kind == "query.miss":
+            queries["misses"] += 1
+        elif kind == "query.complete":
+            queries["completed"] += 1
+
+    return {
+        "records": len(records),
+        "kinds": dict(sorted(counts.items())),
+        "nodes": len(nodes),
+        "time_span": (None if t_min > t_max else (t_min, t_max)),
+        "flows": dict(sorted(flows.items())),
+        "top_pairs": sorted(pairs.items(), key=lambda kv: (-kv[1], kv[0]))[:8],
+        "queries": queries,
+        "timeline": dict(sorted(timeline.items())),
+    }

@@ -1,0 +1,346 @@
+"""Typed trace records emitted on the observability event bus.
+
+Each record class is a tiny ``__slots__`` object with a ``kind`` class
+attribute (the stable wire name, e.g. ``"contact.open"``), a ``time``
+field in simulation seconds, and :meth:`TraceRecord.as_dict` /
+:func:`record_from_dict` for loss-free JSONL round-trips.
+
+Records are deliberately dumb data: no behaviour, no references into
+the simulation, so a trace can outlive (and be loaded without) the run
+that produced it.  The full catalogue:
+
+================== ====================================================
+kind                emitted when
+================== ====================================================
+``engine.run``      the simulator's run loop starts/stops
+``engine.event``    one executed event (``engine_events=True`` opt-in)
+``contact.open``    a trace contact opens (both endpoints online)
+``contact.close``   an opened contact closes
+``node.churn``      a node flips online/offline
+``msg.create``      a :class:`~repro.sim.messages.Message` is built
+``msg.tx``          the network admits a transfer
+``msg.rx``          the flattened delivery executes at the receiver
+``msg.drop``        a transfer is rejected (no contact/expired/bandwidth)
+``task.create``     a refresh handler takes on a (item, target) task
+``task.drop``       a task leaves (delivered/expired/suppressed)
+``cache.put``       a store inserts or upgrades an entry
+``cache.evict``     the eviction policy discards an entry
+``cache.expire``    ``drop_expired`` removes a dead entry
+``cache.remove``    an entry is removed explicitly (invalidation)
+``query.issue``     a node issues a query
+``query.hit``       a node answers a query from a provider
+``query.miss``      a queried node has no answer and keeps forwarding
+``query.complete``  the requester receives its answer
+================== ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+
+class TraceRecord:
+    """Base class: every record has a ``kind`` and a ``time``."""
+
+    kind: str = ""
+    __slots__ = ("time",)
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat JSON-serialisable dict (``kind`` plus every slot)."""
+        out: dict[str, Any] = {"kind": self.kind, "time": self.time}
+        for cls in type(self).__mro__:
+            for slot in getattr(cls, "__slots__", ()):
+                if slot != "time":
+                    out[slot] = getattr(self, slot)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()  # type: ignore[union-attr]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(
+            f"{k}={v!r}" for k, v in self.as_dict().items() if k != "kind"
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+class EngineRun(TraceRecord):
+    """Run-loop start/stop marker (``phase`` is ``"begin"``/``"end"``)."""
+
+    kind = "engine.run"
+    __slots__ = ("phase", "events_executed")
+
+    def __init__(self, time: float, phase: str, events_executed: int) -> None:
+        super().__init__(time)
+        self.phase = phase
+        self.events_executed = events_executed
+
+
+class EngineEvent(TraceRecord):
+    """One executed simulator event (``EventBus(engine_events=True)``
+    opt-in; highest-volume record by far)."""
+
+    kind = "engine.event"
+    __slots__ = ("callback", "priority", "node")
+
+    def __init__(self, time: float, callback: str, priority: int,
+                 node: int | None) -> None:
+        super().__init__(time)
+        self.callback = callback
+        self.priority = priority
+        self.node = node
+
+
+class ContactOpen(TraceRecord):
+    kind = "contact.open"
+    __slots__ = ("a", "b", "duration")
+
+    def __init__(self, time: float, a: int, b: int, duration: float) -> None:
+        super().__init__(time)
+        self.a = a
+        self.b = b
+        self.duration = duration
+
+
+class ContactClose(TraceRecord):
+    kind = "contact.close"
+    __slots__ = ("a", "b")
+
+    def __init__(self, time: float, a: int, b: int) -> None:
+        super().__init__(time)
+        self.a = a
+        self.b = b
+
+
+class NodeChurn(TraceRecord):
+    kind = "node.churn"
+    __slots__ = ("node", "online")
+
+    def __init__(self, time: float, node: int, online: bool) -> None:
+        super().__init__(time)
+        self.node = node
+        self.online = online
+
+
+class MessageCreate(TraceRecord):
+    kind = "msg.create"
+    __slots__ = ("msg_kind", "src", "dst", "size", "msg_id", "copy_id")
+
+    def __init__(self, time: float, msg_kind: str, src: int, dst: int | None,
+                 size: int, msg_id: int, copy_id: int) -> None:
+        super().__init__(time)
+        self.msg_kind = msg_kind
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.msg_id = msg_id
+        self.copy_id = copy_id
+
+
+class MessageTx(TraceRecord):
+    kind = "msg.tx"
+    __slots__ = ("msg_kind", "sender", "receiver", "size", "msg_id",
+                 "copy_id", "hop_count")
+
+    def __init__(self, time: float, msg_kind: str, sender: int, receiver: int,
+                 size: int, msg_id: int, copy_id: int, hop_count: int) -> None:
+        super().__init__(time)
+        self.msg_kind = msg_kind
+        self.sender = sender
+        self.receiver = receiver
+        self.size = size
+        self.msg_id = msg_id
+        self.copy_id = copy_id
+        self.hop_count = hop_count
+
+
+class MessageRx(TraceRecord):
+    kind = "msg.rx"
+    __slots__ = ("msg_kind", "sender", "receiver", "size", "msg_id", "copy_id")
+
+    def __init__(self, time: float, msg_kind: str, sender: int, receiver: int,
+                 size: int, msg_id: int, copy_id: int) -> None:
+        super().__init__(time)
+        self.msg_kind = msg_kind
+        self.sender = sender
+        self.receiver = receiver
+        self.size = size
+        self.msg_id = msg_id
+        self.copy_id = copy_id
+
+
+class MessageDrop(TraceRecord):
+    """A rejected transfer; ``reason`` is ``no_contact``/``expired``/
+    ``bandwidth``."""
+
+    kind = "msg.drop"
+    __slots__ = ("msg_kind", "sender", "receiver", "size", "msg_id", "reason")
+
+    def __init__(self, time: float, msg_kind: str, sender: int, receiver: int,
+                 size: int, msg_id: int, reason: str) -> None:
+        super().__init__(time)
+        self.msg_kind = msg_kind
+        self.sender = sender
+        self.receiver = receiver
+        self.size = size
+        self.msg_id = msg_id
+        self.reason = reason
+
+
+class TaskCreate(TraceRecord):
+    kind = "task.create"
+    __slots__ = ("node", "item_id", "target", "version", "may_recruit")
+
+    def __init__(self, time: float, node: int, item_id: int, target: int,
+                 version: int, may_recruit: bool) -> None:
+        super().__init__(time)
+        self.node = node
+        self.item_id = item_id
+        self.target = target
+        self.version = version
+        self.may_recruit = may_recruit
+
+
+class TaskDrop(TraceRecord):
+    """``reason`` is ``delivered``/``expired``/``suppressed``."""
+
+    kind = "task.drop"
+    __slots__ = ("node", "item_id", "target", "version", "reason")
+
+    def __init__(self, time: float, node: int, item_id: int, target: int,
+                 version: int, reason: str) -> None:
+        super().__init__(time)
+        self.node = node
+        self.item_id = item_id
+        self.target = target
+        self.version = version
+        self.reason = reason
+
+
+class CachePut(TraceRecord):
+    kind = "cache.put"
+    __slots__ = ("node", "item_id", "version", "upgrade")
+
+    def __init__(self, time: float, node: int, item_id: int, version: int,
+                 upgrade: bool) -> None:
+        super().__init__(time)
+        self.node = node
+        self.item_id = item_id
+        self.version = version
+        self.upgrade = upgrade
+
+
+class CacheEvict(TraceRecord):
+    kind = "cache.evict"
+    __slots__ = ("node", "item_id", "version")
+
+    def __init__(self, time: float, node: int, item_id: int, version: int) -> None:
+        super().__init__(time)
+        self.node = node
+        self.item_id = item_id
+        self.version = version
+
+
+class CacheExpire(TraceRecord):
+    kind = "cache.expire"
+    __slots__ = ("node", "item_id", "version")
+
+    def __init__(self, time: float, node: int, item_id: int, version: int) -> None:
+        super().__init__(time)
+        self.node = node
+        self.item_id = item_id
+        self.version = version
+
+
+class CacheRemove(TraceRecord):
+    """Explicit removal (e.g. an invalidation notice); ``time`` may be
+    NaN when the caller carries no timestamp."""
+
+    kind = "cache.remove"
+    __slots__ = ("node", "item_id", "version")
+
+    def __init__(self, time: float, node: int, item_id: int, version: int) -> None:
+        super().__init__(time)
+        self.node = node
+        self.item_id = item_id
+        self.version = version
+
+
+class QueryIssue(TraceRecord):
+    kind = "query.issue"
+    __slots__ = ("node", "query_id", "item_id")
+
+    def __init__(self, time: float, node: int, query_id: int, item_id: int) -> None:
+        super().__init__(time)
+        self.node = node
+        self.query_id = query_id
+        self.item_id = item_id
+
+
+class QueryHit(TraceRecord):
+    """A node found an answer; ``local`` means the requester itself."""
+
+    kind = "query.hit"
+    __slots__ = ("node", "query_id", "item_id", "version", "local")
+
+    def __init__(self, time: float, node: int, query_id: int, item_id: int,
+                 version: int, local: bool) -> None:
+        super().__init__(time)
+        self.node = node
+        self.query_id = query_id
+        self.item_id = item_id
+        self.version = version
+        self.local = local
+
+
+class QueryMiss(TraceRecord):
+    kind = "query.miss"
+    __slots__ = ("node", "query_id", "item_id")
+
+    def __init__(self, time: float, node: int, query_id: int, item_id: int) -> None:
+        super().__init__(time)
+        self.node = node
+        self.query_id = query_id
+        self.item_id = item_id
+
+
+class QueryComplete(TraceRecord):
+    kind = "query.complete"
+    __slots__ = ("node", "query_id", "item_id", "served_by", "delay")
+
+    def __init__(self, time: float, node: int, query_id: int, item_id: int,
+                 served_by: int, delay: float) -> None:
+        super().__init__(time)
+        self.node = node
+        self.query_id = query_id
+        self.item_id = item_id
+        self.served_by = served_by
+        self.delay = delay
+
+
+#: wire name -> record class, for JSONL reconstruction
+RECORD_TYPES: dict[str, Type[TraceRecord]] = {
+    cls.kind: cls
+    for cls in (
+        EngineRun, EngineEvent, ContactOpen, ContactClose, NodeChurn,
+        MessageCreate, MessageTx, MessageRx, MessageDrop,
+        TaskCreate, TaskDrop,
+        CachePut, CacheEvict, CacheExpire, CacheRemove,
+        QueryIssue, QueryHit, QueryMiss, QueryComplete,
+    )
+}
+
+
+def record_from_dict(data: dict[str, Any]) -> TraceRecord:
+    """Rebuild the typed record a :meth:`TraceRecord.as_dict` produced."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    cls = RECORD_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown trace record kind {kind!r}")
+    return cls(**payload)

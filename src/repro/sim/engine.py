@@ -119,6 +119,10 @@ class Simulator:
         #: found in the heap, so this may over-estimate -- compaction
         #: resets it to the truth)
         self._cancelled = 0
+        #: optional :class:`repro.obs.bus.EventBus`.  Checked once per
+        #: :meth:`run` call -- never inside the event loop -- so a run
+        #: without a bus executes the exact pre-instrumentation loop.
+        self.trace = None
 
     @property
     def now(self) -> float:
@@ -211,6 +215,14 @@ class Simulator:
         self._running = True
         heap = self._heap
         heappop = heapq.heappop
+        trace = self.trace
+        if trace is not None:
+            from repro.obs.records import EngineRun
+
+            trace.emit(EngineRun(self._now, "begin", self._events_executed))
+        # Hoisted once per run() call: the loop below only pays a local
+        # boolean test, not an attribute walk, when tracing is off.
+        engine_events = trace is not None and trace.engine_events
         try:
             executed = 0
             while heap:
@@ -223,6 +235,8 @@ class Simulator:
                         self._cancelled -= 1
                     continue
                 self._now = time
+                if engine_events:
+                    self._emit_engine_event(trace, event)
                 event.callback(*event.args)
                 self._events_executed += 1
                 executed += 1
@@ -233,6 +247,23 @@ class Simulator:
             return self._now
         finally:
             self._running = False
+            if trace is not None:
+                from repro.obs.records import EngineRun
+
+                trace.emit(EngineRun(self._now, "end", self._events_executed))
+
+    @staticmethod
+    def _emit_engine_event(trace, event: Event) -> None:
+        """Per-executed-event record (``EventBus(engine_events=True)``
+        opt-in -- this is *per simulation event*, easily the highest
+        volume record in a trace)."""
+        from repro.obs.records import EngineEvent
+
+        callback = event.callback
+        name = getattr(callback, "__qualname__", None) or repr(callback)
+        bound = getattr(callback, "__self__", None)
+        owner = getattr(bound, "node_id", None) if bound is not None else None
+        trace.emit(EngineEvent(event.time, name, event.priority, owner))
 
     def step(self) -> bool:
         """Execute the single next non-cancelled event.

@@ -20,6 +20,19 @@ from typing import Any, Optional
 _MSG_IDS = itertools.count(1)
 _COPY_IDS = itertools.count(1)
 
+#: Optional :class:`repro.obs.bus.EventBus` receiving a ``msg.create``
+#: record for every constructed Message.  Module-level because Message
+#: construction sites are spread across every protocol; runs scope it
+#: with :func:`set_message_trace` inside try/finally so a bus never
+#: leaks across runs.
+_TRACE = None
+
+
+def set_message_trace(bus) -> None:
+    """Install (or, with ``None``, remove) the message-creation bus."""
+    global _TRACE
+    _TRACE = bus
+
 
 def reset_message_ids() -> None:
     """Reset the global id counters (used by tests for determinism)."""
@@ -43,6 +56,15 @@ class Message:
     msg_id: int = field(default_factory=lambda: next(_MSG_IDS))
     copy_id: int = field(default_factory=lambda: next(_COPY_IDS))
     hop_count: int = 0
+
+    def __post_init__(self) -> None:
+        if _TRACE is not None:
+            from repro.obs.records import MessageCreate
+
+            _TRACE.emit(
+                MessageCreate(self.created_at, self.kind, self.src, self.dst,
+                              self.size, self.msg_id, self.copy_id)
+            )
 
     def copy(self) -> "Message":
         """A replica of this message: same ``msg_id``, new ``copy_id``."""

@@ -143,6 +143,10 @@ class ContactNetwork:
         #: ``listener(node_id, online, now)``.  Churn drives all state
         #: flips through :meth:`set_online`, so listeners see every one.
         self._online_listeners: list = []
+        #: optional :class:`repro.obs.bus.EventBus`; every emission site
+        #: is behind a single ``is not None`` check, so an untraced
+        #: network runs the pre-instrumentation transfer path.
+        self.trace = None
         for node in self.nodes.values():
             node.network = self
         self._schedule_trace(contacts)
@@ -196,17 +200,26 @@ class ContactNetwork:
             return
         self.link_model.contact_opened(a, b, duration)
         self._c_contacts.add(1)
+        if self.trace is not None:
+            from repro.obs.records import ContactOpen
+
+            self.trace.emit(ContactOpen(self.sim.now, a, b, duration))
         node_a.contact_started(node_b)
         node_b.contact_started(node_a)
 
     def _contact_end(self, a: int, b: int) -> None:
         node_a, node_b = self.nodes[a], self.nodes[b]
         # Only close contacts that actually opened (both ends were online).
+        opened = node_a.in_contact_with(b) or node_b.in_contact_with(a)
         if node_a.in_contact_with(b):
             node_a.contact_ended(node_b)
         if node_b.in_contact_with(a):
             node_b.contact_ended(node_a)
         self.link_model.contact_closed(a, b)
+        if opened and self.trace is not None:
+            from repro.obs.records import ContactClose
+
+            self.trace.emit(ContactClose(self.sim.now, a, b))
 
     def set_online(self, node_id: int, online: bool) -> None:
         """Take a node offline (closing its open contacts) or bring it back."""
@@ -238,12 +251,18 @@ class ContactNetwork:
         """
         if not sender.in_contact_with(receiver.node_id):
             self._c_rejected_no_contact.add(1)
+            if self.trace is not None:
+                self._emit_drop(message, sender, receiver, "no_contact")
             return False
         if message.expired(self.sim.now):
             self._c_rejected_expired.add(1)
+            if self.trace is not None:
+                self._emit_drop(message, sender, receiver, "expired")
             return False
         if not self.link_model.admits(message, sender.node_id, receiver.node_id):
             self._c_rejected_bandwidth.add(1)
+            if self.trace is not None:
+                self._emit_drop(message, sender, receiver, "bandwidth")
             return False
         self.link_model.charge(message, sender.node_id, receiver.node_id)
         message.hop_count += 1
@@ -265,6 +284,34 @@ class ContactNetwork:
                     msg_id=message.msg_id,
                 )
             )
+        if self.trace is not None:
+            from repro.obs.records import MessageTx
+
+            self.trace.emit(
+                MessageTx(
+                    self.sim.now,
+                    message.kind,
+                    sender.node_id,
+                    receiver.node_id,
+                    message.size,
+                    message.msg_id,
+                    message.copy_id,
+                    message.hop_count,
+                )
+            )
+            # Deliver through a wrapper that emits msg.rx just before the
+            # receiver runs.  Scheduled at the same (time, priority) as the
+            # untraced path, so heap ordering -- and hence the metrics of a
+            # traced run -- are unchanged.
+            self.sim.schedule_at(
+                self.sim.now,
+                self._traced_delivery,
+                message,
+                sender,
+                receiver,
+                priority=_PRIORITY_DELIVERY,
+            )
+            return True
         self.sim.schedule_at(
             self.sim.now,
             receiver.receive,
@@ -273,3 +320,39 @@ class ContactNetwork:
             priority=_PRIORITY_DELIVERY,
         )
         return True
+
+    def _emit_drop(self, message: Message, sender: Node, receiver: Node,
+                   reason: str) -> None:
+        from repro.obs.records import MessageDrop
+
+        self.trace.emit(
+            MessageDrop(
+                self.sim.now,
+                message.kind,
+                sender.node_id,
+                receiver.node_id,
+                message.size,
+                message.msg_id,
+                reason,
+            )
+        )
+
+    def _traced_delivery(self, message: Message, sender: Node,
+                         receiver: Node) -> None:
+        """Delivery wrapper used only when tracing: emit ``msg.rx`` then
+        run the normal :meth:`Node.receive`."""
+        if self.trace is not None:
+            from repro.obs.records import MessageRx
+
+            self.trace.emit(
+                MessageRx(
+                    self.sim.now,
+                    message.kind,
+                    sender.node_id,
+                    receiver.node_id,
+                    message.size,
+                    message.msg_id,
+                    message.copy_id,
+                )
+            )
+        receiver.receive(message, sender)

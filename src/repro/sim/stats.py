@@ -52,9 +52,15 @@ class Gauge:
 
 
 class Tally:
-    """Streaming mean/variance/min/max over observed samples (Welford)."""
+    """Streaming mean/variance/min/max over observed samples (Welford).
 
-    __slots__ = ("name", "count", "_mean", "_m2", "min", "max")
+    Samples are also retained (8 bytes each) so exact quantiles are
+    available after the run via :meth:`percentile`; the sorted copy is
+    cached and invalidated on the next :meth:`observe`.
+    """
+
+    __slots__ = ("name", "count", "_mean", "_m2", "min", "max",
+                 "_samples", "_sorted")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -63,6 +69,8 @@ class Tally:
         self._m2 = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._samples: list[float] = []
+        self._sorted: Optional[list[float]] = None
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -71,6 +79,38 @@ class Tally:
         self._m2 += delta * (value - self._mean)
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        self._samples.append(value)
+        self._sorted = None
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile (0 <= q <= 100), linearly interpolated
+        between order statistics (numpy's default convention); NaN when
+        no samples have been observed."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return math.nan
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = sorted(self._samples)
+        rank = (len(ordered) - 1) * (q / 100.0)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return ordered[lo]
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
 
     @property
     def mean(self) -> float:

@@ -1,0 +1,52 @@
+"""Smoke-run every script in examples/ with tiny parameters.
+
+Each example honours the ``REPRO_EXAMPLE_FAST`` environment variable by
+shrinking its trace and horizon to something that finishes in seconds.
+These tests run the scripts exactly as a user would -- as subprocesses
+with ``PYTHONPATH=src`` -- so import errors, API drift, and crashed
+``main()`` bodies all surface in CI.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _run_example(path: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_FAST"] = "1"
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return subprocess.run(
+        [sys.executable, str(path)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_examples_directory_is_nonempty():
+    assert EXAMPLE_SCRIPTS, f"no example scripts found in {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[p.stem for p in EXAMPLE_SCRIPTS]
+)
+def test_example_runs(script: Path):
+    result = _run_example(script)
+    assert result.returncode == 0, (
+        f"{script.name} exited with {result.returncode}\n"
+        f"--- stdout ---\n{result.stdout}\n--- stderr ---\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script.name} produced no output"

@@ -1,0 +1,277 @@
+"""The observability subsystem: bus, records, exporters, report.
+
+Covers the two guarantees the subsystem makes:
+
+- **zero-cost when disabled** -- a simulation built without a bus wires
+  no listeners and leaves every ``trace`` attribute ``None``, so the
+  only per-emission cost is the guard itself;
+- **passive when enabled** -- a traced run returns bit-identical
+  :class:`RunMetrics` (``same_as``) to an untraced run, and its trace
+  round-trips through the JSONL exporter, the manifest merge, the
+  ``repro report`` renderer, and the Chrome trace converter.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro import DataCatalog, build_simulation, get_profile
+from repro.experiments.config import Settings
+from repro.experiments.runner import run_once, trace_output
+from repro.obs.bus import EventBus, tee_online_listener
+from repro.obs.export import (
+    chrome_trace,
+    load_trace,
+    read_jsonl,
+    read_manifest,
+    summarize_trace,
+    write_jsonl,
+)
+from repro.obs.records import (
+    RECORD_TYPES,
+    CachePut,
+    ContactOpen,
+    MessageTx,
+    NodeChurn,
+    QueryComplete,
+    TaskDrop,
+    record_from_dict,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import format_trace_report
+from repro.sim import messages as messages_mod
+
+DAY = 86400.0
+
+#: one seed, one day of the small profile -- a couple of seconds per run
+FAST = Settings.fast().with_(duration=1 * DAY, seeds=(1,))
+
+
+def _build(bus=None):
+    rng = np.random.default_rng(3)
+    trace = get_profile("small").generate(rng, duration=1 * DAY)
+    catalog = DataCatalog.uniform(
+        num_items=3, sources=[trace.node_ids[0]], refresh_interval=4 * 3600.0
+    )
+    return build_simulation(
+        trace, catalog, scheme="hdr", num_caching_nodes=4, seed=1,
+        with_queries=True, bus=bus,
+    )
+
+
+# ---------------------------------------------------------------------------
+# disabled fast path
+# ---------------------------------------------------------------------------
+
+
+def test_disabled_bus_wires_nothing():
+    runtime = _build(bus=None)
+    assert runtime.trace is None
+    assert runtime.network.trace is None
+    assert runtime.sim.trace is None
+    for store in runtime.stores.values():
+        assert store.trace is None
+    assert messages_mod._TRACE is None
+    # the only online listeners are the simulation's own (node churn
+    # bookkeeping), not an observability tee
+    baseline = len(runtime.network._online_listeners)
+    traced = _build(bus=EventBus())
+    assert len(traced.network._online_listeners) == baseline + 1
+
+
+def test_disabled_run_records_nothing():
+    runtime = _build(bus=None)
+    runtime.run(until=6 * 3600.0)
+    assert runtime.trace is None  # still no bus after a run
+
+
+# ---------------------------------------------------------------------------
+# bus mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_bus_buffers_streams_and_counts():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    bus.emit(NodeChurn(1.0, 3, True))
+    bus.emit(NodeChurn(2.0, 3, False))
+    bus.emit(ContactOpen(3.0, 1, 2, 60.0))
+    assert len(bus) == 3
+    assert [r.kind for r in seen] == ["node.churn", "node.churn", "contact.open"]
+    assert bus.counts() == {"contact.open": 1, "node.churn": 2}
+    assert [r.time for r in bus.of_kind("node.churn")] == [1.0, 2.0]
+
+
+def test_bus_streaming_only_mode():
+    bus = EventBus(keep_records=False)
+    seen = []
+    bus.subscribe(seen.append)
+    bus.emit(NodeChurn(1.0, 0, True))
+    assert len(bus) == 0 and len(seen) == 1
+
+
+def test_tee_online_listener_forwards_churn():
+    bus = EventBus()
+    listener = tee_online_listener(bus)
+    listener(7, True, 42.0)
+    (record,) = bus.records
+    assert (record.kind, record.node, record.online, record.time) == (
+        "node.churn", 7, True, 42.0)
+
+
+# ---------------------------------------------------------------------------
+# records and JSONL round trip
+# ---------------------------------------------------------------------------
+
+
+def test_every_record_kind_round_trips(tmp_path):
+    samples = [
+        ContactOpen(10.0, 1, 2, 300.0),
+        NodeChurn(11.0, 4, False),
+        MessageTx(12.0, "refresh", 1, 2, 1024, 17, 3, 2),
+        TaskDrop(13.0, 5, 0, 2, 9, "expired"),
+        CachePut(14.0, 6, 1, 4, True),
+        QueryComplete(15.0, 2, 8, 1, 6, 120.0),
+    ]
+    path = tmp_path / "trace.jsonl"
+    assert write_jsonl(samples, path) == len(samples)
+    loaded = read_jsonl(path)
+    assert loaded == samples
+    # as_dict/record_from_dict agree for every registered kind
+    for record in samples:
+        assert record_from_dict(record.as_dict()) == record
+        assert record.kind in RECORD_TYPES
+
+
+def test_record_from_dict_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown trace record kind"):
+        record_from_dict({"kind": "bogus.kind", "time": 0.0})
+
+
+# ---------------------------------------------------------------------------
+# traced run: identity, exporters, report
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One traced E4-style run (queries on) plus its untraced twin."""
+    path = tmp_path_factory.mktemp("obs") / "run.jsonl"
+    trace = get_profile(FAST.profile).generate(
+        np.random.default_rng(1), duration=FAST.duration)
+    untraced = run_once(trace, "hdr", FAST, seed=1, with_queries=True)
+    traced = run_once(trace, "hdr", FAST, seed=1, with_queries=True,
+                      trace_path=path)
+    return untraced, traced, path
+
+
+def test_traced_metrics_identical(traced_run):
+    untraced, traced, _ = traced_run
+    assert untraced.same_as(traced)
+
+
+def test_trace_covers_the_stack(traced_run):
+    _, _, path = traced_run
+    records = load_trace(path)
+    kinds = {r.kind for r in records}
+    # engine + network + messages + refresh tasks + cache + queries all
+    # show up in a real run (node.churn does not: the small profile has
+    # no churn, and the tee listener has its own unit test)
+    assert {"engine.run", "contact.open", "contact.close",
+            "msg.create", "msg.tx", "msg.rx",
+            "task.create", "task.drop", "cache.put",
+            "query.issue", "query.complete"} <= kinds
+    # msg volume is conserved: nothing received that was never sent
+    counts = {k: sum(1 for r in records if r.kind == k) for k in kinds}
+    assert counts["msg.rx"] <= counts["msg.tx"] <= counts["msg.create"]
+
+
+def test_report_and_summary(traced_run):
+    _, _, path = traced_run
+    records = load_trace(path)
+    summary = summarize_trace(records)
+    assert summary["records"] == len(records)
+    assert summary["queries"]["issued"] > 0
+    assert summary["time_span"][0] <= summary["time_span"][1]
+    text = format_trace_report(records, title="test run")
+    assert "== test run ==" in text
+    assert "record counts" in text
+    assert "message flow" in text
+    assert "query funnel" in text
+
+
+def test_chrome_trace_is_valid(traced_run):
+    _, _, path = traced_run
+    records = load_trace(path)
+    trace = chrome_trace(records)
+    events = trace["traceEvents"]
+    assert events
+    json.dumps(trace)  # must be serialisable as-is
+    for event in events:
+        assert math.isfinite(event.get("ts", 0.0))
+        assert event["ph"] in ("X", "i", "M")
+    # contacts render as duration slices
+    assert any(e["ph"] == "X" for e in events)
+
+
+# ---------------------------------------------------------------------------
+# trace_output sink: multi-run manifest
+# ---------------------------------------------------------------------------
+
+
+def test_trace_output_writes_manifest_for_multiple_runs(tmp_path):
+    trace = get_profile(FAST.profile).generate(
+        np.random.default_rng(1), duration=FAST.duration)
+    out = tmp_path / "multi.jsonl"
+    with trace_output(out) as sink:
+        with pytest.raises(RuntimeError, match="not reentrant"):
+            trace_output(out).__enter__()
+        for scheme in ("hdr", "source"):
+            run_once(trace, scheme, FAST, seed=1)
+    manifest = tmp_path / "multi.manifest.json"
+    assert sink.output == manifest and manifest.exists()
+    entries = read_manifest(manifest)
+    assert [e["scheme"] for e in entries] == ["hdr", "source"]
+    assert all(e["records"] > 0 for e in entries)
+    merged = load_trace(manifest)
+    assert len(merged) == sum(e["records"] for e in entries)
+
+
+def test_trace_output_renames_single_run(tmp_path):
+    trace = get_profile(FAST.profile).generate(
+        np.random.default_rng(1), duration=FAST.duration)
+    out = tmp_path / "single.jsonl"
+    with trace_output(out) as sink:
+        run_once(trace, "source", FAST, seed=1)
+    assert sink.output == out and out.exists()
+    assert load_trace(out)
+
+
+# ---------------------------------------------------------------------------
+# metrics registry
+# ---------------------------------------------------------------------------
+
+
+def test_metrics_registry_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("msgs").add(3)
+    hist = registry.histogram("delay")
+    for value in range(1, 101):
+        hist.observe(float(value))
+    snap = registry.snapshot(now=12.5)
+    assert snap["time"] == 12.5
+    assert snap["counters"]["msgs"] == 3
+    delay = snap["histograms"]["delay"]
+    assert delay["count"] == 100
+    assert delay["p50"] == pytest.approx(50.5, abs=1.0)
+    assert delay["p99"] == pytest.approx(99.0, abs=1.5)
+    # same instrument back on repeated lookup
+    assert registry.histogram("delay") is hist
+
+
+def test_build_simulation_hands_out_metrics_registry():
+    runtime = _build()
+    assert isinstance(runtime.stats, MetricsRegistry)

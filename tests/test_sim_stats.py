@@ -65,6 +65,56 @@ class TestTally:
         assert tally.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
 
 
+class TestTallyPercentiles:
+    def test_single_sample(self):
+        tally = Tally("t")
+        tally.observe(7.0)
+        assert tally.p50 == 7.0
+        assert tally.p95 == 7.0
+        assert tally.percentile(0.0) == 7.0
+        assert tally.percentile(100.0) == 7.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(Tally("t").p50)
+
+    def test_interpolation(self):
+        tally = Tally("t")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            tally.observe(v)
+        assert tally.p50 == pytest.approx(2.5)
+        assert tally.percentile(25.0) == pytest.approx(1.75)
+        assert tally.percentile(100.0) == 4.0
+        assert tally.percentile(0.0) == 1.0
+
+    def test_rejects_out_of_range(self):
+        tally = Tally("t")
+        tally.observe(1.0)
+        with pytest.raises(ValueError):
+            tally.percentile(101.0)
+        with pytest.raises(ValueError):
+            tally.percentile(-0.5)
+
+    def test_cache_invalidated_by_new_observation(self):
+        tally = Tally("t")
+        tally.observe(1.0)
+        assert tally.p50 == 1.0  # primes the sorted cache
+        tally.observe(3.0)
+        assert tally.p50 == pytest.approx(2.0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                    min_size=1, max_size=80),
+           st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_numpy_linear(self, values, q):
+        import numpy as np
+
+        tally = Tally("t")
+        for v in values:
+            tally.observe(v)
+        expected = float(np.percentile(np.asarray(values), q))
+        assert tally.percentile(q) == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
 class TestTimeSeries:
     def test_record_and_iterate(self):
         series = TimeSeries("s")
