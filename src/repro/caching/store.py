@@ -133,6 +133,27 @@ class CacheStore:
             )
         return old is not None
 
+    def clear(self, now: float) -> int:
+        """Remove every entry (a crashed device losing its cache).
+
+        Each removal flows through ``change_listener`` with the real
+        timestamp, so incremental accounting (the freshness accountant)
+        stays consistent; traced stores emit one ``cache.remove`` per
+        entry.  Returns the number of entries dropped.
+        """
+        dropped = list(self._entries.items())
+        self._entries.clear()
+        for item_id, old in dropped:
+            if self.change_listener is not None:
+                self.change_listener(item_id, old, None, now)
+            if self.trace is not None:
+                from repro.obs.records import CacheRemove
+
+                self.trace.emit(
+                    CacheRemove(now, self.trace_node, item_id, old.version)
+                )
+        return len(dropped)
+
     def drop_expired(self, now: float, items: dict[int, DataItem]) -> int:
         """Remove entries whose version has expired; returns the count."""
         dead = [

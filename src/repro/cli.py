@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 import numpy as np
@@ -44,6 +45,17 @@ def _resolve_jobs_or_complain(jobs) -> Optional[int]:
         return None
 
 
+def _load_fault_plan_or_complain(path):
+    """Load a ``--faults`` TOML plan, printing errors without tracebacks."""
+    from repro.faults.plan import load_plan
+
+    try:
+        return load_plan(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}")
+        return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
@@ -57,15 +69,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiment(s): {unknown}; known: {list(EXPERIMENTS)}")
         return 2
+    fault_plan = None
+    if args.faults:
+        fault_plan = _load_fault_plan_or_complain(args.faults)
+        if fault_plan is None:
+            return 2
+    checkpointing = (args.resume or args.checkpoint is not None
+                     or args.job_timeout is not None
+                     or args.max_retries is not None)
+    if checkpointing:
+        from repro.experiments.reliability import RetryPolicy
+
+        try:
+            policy = RetryPolicy(
+                max_retries=2 if args.max_retries is None else args.max_retries,
+                job_timeout=args.job_timeout,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
     if args.trace:
         from repro.experiments.runner import trace_output
 
         context = trace_output(args.trace)
     else:
         context = nullcontext()
-    with context as sink:
+    if fault_plan is not None:
+        from repro.experiments.runner import fault_injection
+
+        faults_context = fault_injection(fault_plan)
+    else:
+        faults_context = nullcontext()
+    from repro.experiments.reliability import SweepIncomplete
+
+    status = 0
+    with context as sink, faults_context:
         for exp_id in ids:
-            result = EXPERIMENTS[exp_id](settings, jobs=args.jobs)
+            if checkpointing:
+                from repro.experiments.checkpoint import SweepJournal
+                from repro.experiments.reliability import resilient_execution
+
+                directory = Path(args.checkpoint or ".repro-checkpoint") / exp_id
+                journal = SweepJournal(directory, resume=args.resume)
+                exp_context = resilient_execution(policy, journal)
+            else:
+                exp_context = nullcontext()
+            try:
+                with exp_context:
+                    result = EXPERIMENTS[exp_id](settings, jobs=args.jobs)
+            except SweepIncomplete as exc:
+                print(f"error: {exp_id} incomplete: {exc}")
+                status = 1
+                continue
             print(result)
             if args.export:
                 from repro.analysis.export import export_result
@@ -73,11 +128,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 written = export_result(result, args.export)
                 for path in written:
                     print(f"exported {path}")
+            if checkpointing:
+                print(f"checkpoint journal: {journal.journal_path} "
+                      "(re-run with --resume to skip completed jobs)")
             print()
     if sink is not None and sink.output is not None:
         print(f"trace written to {sink.output} "
               f"({len(sink.entries)} file(s); inspect with 'repro report')")
-    return 0
+    return status
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -155,9 +213,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         freshness_requirement=args.p_req,
         seeds=(args.seed,),
     )
+    fault_plan = None
+    if args.faults:
+        fault_plan = _load_fault_plan_or_complain(args.faults)
+        if fault_plan is None:
+            return 2
     trace = make_trace(settings, args.seed)
     metrics = run_once(trace, args.scheme, settings, seed=args.seed,
-                       with_queries=True, trace_path=args.trace)
+                       with_queries=True, trace_path=args.trace,
+                       fault_plan=fault_plan)
     print(f"scheme            : {metrics.scheme}")
     print(f"freshness         : {metrics.freshness:.4f}")
     print(f"validity          : {metrics.validity:.4f}")
@@ -202,6 +266,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"traced {obs['traced_seconds']:.2f}s "
           f"({obs['overhead_pct']:+.1f}%, {obs['records']} records, "
           f"identical={obs['identical']})")
+    faults = report["faults"]
+    print(f"faults    : no-plan {faults['no_plan_seconds']:.2f}s, "
+          f"null-plan {faults['null_plan_seconds']:.2f}s "
+          f"({faults['overhead_pct']:+.1f}%, identical={faults['identical']}), "
+          f"faulted {faults['faulted_seconds']:.2f}s")
     print(f"wrote {args.output}")
     status = 0
     if args.check_baseline is not None:
@@ -218,6 +287,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         status = 1
     if not report["obs"]["identical"]:
         print("FAIL: traced run metrics diverged from the untraced run")
+        status = 1
+    if not report["faults"]["identical"]:
+        print("FAIL: null fault plan changed run metrics "
+              "(no-plan runs must be bit-identical)")
+        status = 1
+    if not report["faults"]["faulted_differs"]:
+        print("FAIL: fault plan injected nothing (faulted run identical "
+              "to baseline)")
         status = 1
     return status
 
@@ -268,6 +345,22 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--trace", metavar="FILE", default=None,
                             help="write per-run JSONL event traces (one file "
                             "per (seed, scheme) job plus a merged manifest)")
+    run_parser.add_argument("--faults", metavar="PLAN.toml", default=None,
+                            help="inject faults from a TOML fault plan into "
+                            "every simulation run (see docs/ROBUSTNESS.md)")
+    run_parser.add_argument("--checkpoint", metavar="DIR", default=None,
+                            help="journal completed jobs under DIR/<EXP> "
+                            "(default: .repro-checkpoint)")
+    run_parser.add_argument("--resume", action="store_true",
+                            help="skip jobs already journaled in the "
+                            "checkpoint dir by a matching interrupted run")
+    run_parser.add_argument("--job-timeout", type=float, metavar="SECONDS",
+                            default=None,
+                            help="per-job wall-clock limit; timed-out jobs "
+                            "retry (needs --jobs > 1)")
+    run_parser.add_argument("--max-retries", type=int, metavar="N", default=None,
+                            help="retries per failed/timed-out/crashed job "
+                            "(default 2 when fault tolerance is active)")
 
     report_parser = sub.add_parser(
         "report", help="summarise a JSONL event trace (or manifest)"
@@ -301,6 +394,8 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--seed", type=int, default=1)
     sim_parser.add_argument("--trace", metavar="FILE", default=None,
                             help="write the run's JSONL event trace to FILE")
+    sim_parser.add_argument("--faults", metavar="PLAN.toml", default=None,
+                            help="inject faults from a TOML fault plan")
 
     bench_parser = sub.add_parser(
         "bench", help="engine/sweep/scheme/trace-gen benchmarks"

@@ -111,6 +111,10 @@ class SourceHandler(ProtocolHandler):
         self.rng = rng
         self.current: dict[int, tuple[int, float]] = {}
         self._listeners: list[Callable[[DataItem, int, float], None]] = []
+        #: while True, scheduled bumps keep firing but publish nothing --
+        #: a data-source outage window (see repro.faults); the schedule
+        #: itself stays alive so resuming needs no re-wiring
+        self.suspended = False
 
     def on_new_version(self, listener: Callable[[DataItem, int, float], None]) -> None:
         """Register a distribution handler to kick after each bump."""
@@ -139,8 +143,19 @@ class SourceHandler(ProtocolHandler):
             return item.refresh_interval + float(self.rng.uniform(-span, span))
         return item.refresh_interval
 
+    def suspend(self) -> None:
+        """Stall version generation (data-source outage)."""
+        self.suspended = True
+
+    def resume(self) -> None:
+        """End an outage; the next scheduled bump publishes again."""
+        self.suspended = False
+
     def _bump(self, item: DataItem) -> None:
-        self._publish(item)
+        if self.suspended:
+            self.stats.counter("refresh.publishes_stalled").add(1)
+        else:
+            self._publish(item)
         self.node.sim.schedule_after(self._gap(item), self._bump, item)
 
     def _publish(self, item: DataItem) -> None:

@@ -39,12 +39,13 @@ from repro.experiments import (
     e12_delay_cdf,
     e13_invalidation,
     e14_ncl_metric,
+    e15_fault_tolerance,
 )
 
 #: E1-E8 and E12 reproduce the paper's (reconstructed) tables and
-#: figures; E9-E11, E13 and E14 are extensions exercising maintenance,
-#: estimation, cache pressure, consistency-model and NCL-selection
-#: aspects (see DESIGN.md's experiment index).
+#: figures; E9-E11 and E13-E15 are extensions exercising maintenance,
+#: estimation, cache pressure, consistency-model, NCL-selection and
+#: fault-tolerance aspects (see DESIGN.md's experiment index).
 EXPERIMENTS = {
     "E1": e1_traces.run,
     "E2": e2_intercontact.run,
@@ -60,6 +61,7 @@ EXPERIMENTS = {
     "E12": e12_delay_cdf.run,
     "E13": e13_invalidation.run,
     "E14": e14_ncl_metric.run,
+    "E15": e15_fault_tolerance.run,
 }
 
 __all__ = [

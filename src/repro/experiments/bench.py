@@ -437,6 +437,58 @@ def obs_benchmark(quick: bool = False, repeats: int = 2) -> dict:
     }
 
 
+def faults_benchmark(quick: bool = False, repeats: int = 2) -> dict:
+    """Fault-layer overhead when **no plan** is installed, plus identity.
+
+    The fault subsystem's contract is that absent a plan it costs
+    nothing: runs predating the subsystem, runs with ``fault_plan=None``
+    and runs with a null plan are all bit-identical, and the hook checks
+    (``network.faults is None``) are too cheap to measure.  This
+    benchmark enforces both halves: metric identity (``same_as``) is a
+    hard gate, and the timing pair quantifies the hook cost.  A faulted
+    run is timed alongside for scale.
+    """
+    from repro.experiments.runner import make_trace, run_once
+    from repro.faults.plan import FaultPlan
+
+    settings = reference_settings(quick).with_(seeds=(1,))
+    if quick:
+        repeats = 1
+    seed = settings.seeds[0]
+    trace = make_trace(settings, seed)
+    plan = FaultPlan(loss_rate=0.1, crash_rate_per_day=2.0,
+                     cache_persistence="wipe")
+
+    def timed(fault_plan):
+        start = time.perf_counter()
+        metrics = run_once(trace, "hdr", settings, seed=seed,
+                           fault_plan=fault_plan)
+        return time.perf_counter() - start, metrics
+
+    no_plan_times, null_times, faulted_times = [], [], []
+    no_plan = null_plan = faulted = None
+    for _ in range(repeats):
+        elapsed, no_plan = timed(None)
+        no_plan_times.append(elapsed)
+        elapsed, null_plan = timed(FaultPlan())
+        null_times.append(elapsed)
+        elapsed, faulted = timed(plan)
+        faulted_times.append(elapsed)
+    base_s, null_s = min(no_plan_times), min(null_times)
+    return {
+        "scheme": "hdr",
+        "seed": seed,
+        "no_plan_seconds": round(base_s, 3),
+        "null_plan_seconds": round(null_s, 3),
+        "faulted_seconds": round(min(faulted_times), 3),
+        "overhead_pct": round((null_s / base_s - 1.0) * 100.0, 1),
+        # both identity gates: null plan == no plan, and the fault run
+        # actually moved the needle (it injected something)
+        "identical": no_plan.same_as(null_plan),
+        "faulted_differs": not faulted.same_as(no_plan),
+    }
+
+
 def check_engine_regression(
     report: dict, baseline_path: str, threshold: float = 0.30
 ) -> tuple[bool, str]:
@@ -479,6 +531,7 @@ def run_benchmarks(jobs: Optional[int] = None,
         "scheme": scheme_benchmark(quick=quick),
         "trace_gen": trace_gen_benchmark(quick=quick),
         "obs": obs_benchmark(quick=quick),
+        "faults": faults_benchmark(quick=quick),
     }
     if path is not None:
         with open(path, "w", encoding="utf-8") as handle:

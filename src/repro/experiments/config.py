@@ -66,3 +66,47 @@ class Settings:
     def with_(self, **overrides) -> "Settings":
         """A copy with some fields replaced."""
         return replace(self, **overrides)
+
+    def validate(self) -> "Settings":
+        """Raise ``ValueError`` on any out-of-range knob.
+
+        Called eagerly by the experiment runner before any worker is
+        spawned, so a bad sweep fails immediately in the parent rather
+        than as N tracebacks out of a process pool.  Returns ``self``
+        so call sites can chain.
+        """
+        errors = []
+        if self.duration <= 0:
+            errors.append(f"duration must be positive, got {self.duration}")
+        if not self.seeds:
+            errors.append("seeds must be non-empty")
+        for positive_int in ("num_caching_nodes", "num_items", "num_sources",
+                             "item_size", "fanout", "max_depth", "max_relays"):
+            value = getattr(self, positive_int)
+            if value < 1:
+                errors.append(f"{positive_int} must be >= 1, got {value}")
+        for positive in ("refresh_interval", "probe_interval"):
+            value = getattr(self, positive)
+            if value <= 0:
+                errors.append(f"{positive} must be positive, got {value}")
+        for non_negative in ("query_rate_per_day", "zipf_exponent",
+                             "refresh_jitter"):
+            value = getattr(self, non_negative)
+            if value < 0:
+                errors.append(f"{non_negative} must be >= 0, got {value}")
+        if not 0.0 < self.freshness_requirement <= 1.0:
+            errors.append(
+                "freshness_requirement must be in (0, 1], "
+                f"got {self.freshness_requirement}"
+            )
+        if self.lifetime_factor <= 0:
+            errors.append(
+                f"lifetime_factor must be positive, got {self.lifetime_factor}"
+            )
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            errors.append(
+                f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
+            )
+        if errors:
+            raise ValueError("invalid experiment settings: " + "; ".join(errors))
+        return self

@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.scheme import SchemeConfig
     from repro.experiments.config import Settings
     from repro.experiments.runner import RunMetrics
+    from repro.faults.plan import FaultPlan
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -86,7 +87,18 @@ def run_tasks(
     so a parallel run merges identically to the serial loop.  With a
     resolved worker count of 1 (the default) the pool is bypassed
     entirely.
+
+    Inside a :func:`repro.experiments.reliability.resilient_execution`
+    block, execution routes through the fault-tolerant executor instead
+    (same contract, plus retries, per-job timeouts, crashed-worker
+    requeue and checkpoint/resume).
     """
+    from repro.experiments import reliability
+
+    context = reliability.current_context()
+    if context is not None:
+        return reliability.run_tasks_resilient(fn, specs, jobs=jobs,
+                                               context=context)
     workers = resolve_jobs(jobs)
     specs = list(specs)
     if workers <= 1 or len(specs) <= 1:
@@ -118,6 +130,10 @@ class Job:
     #: :class:`~repro.experiments.runner.TraceSink` (workers never see
     #: the parent's sink -- the path travels inside the spec)
     trace_path: Optional[str] = None
+    #: fault plan resolved by the parent (workers never see the parent's
+    #: :func:`~repro.experiments.runner.fault_injection` context -- like
+    #: the trace path, the plan travels inside the spec)
+    fault_plan: Optional["FaultPlan"] = None
 
 
 @dataclass(frozen=True)
@@ -128,6 +144,9 @@ class SweepPoint:
     schemes: tuple = ()
     with_queries: bool = False
     num_caching_nodes: Optional[int] = None
+    #: per-point fault plan; ``None`` falls back to the ambient
+    #: :func:`~repro.experiments.runner.fault_injection` context
+    fault_plan: Optional["FaultPlan"] = None
 
 
 def execute_job(job: Job) -> "RunMetrics":
@@ -147,25 +166,69 @@ def execute_job(job: Job) -> "RunMetrics":
         num_caching_nodes=job.num_caching_nodes,
         rates=job.artifacts.rates,
         trace_path=job.trace_path,
+        fault_plan=job.fault_plan,
     )
+
+
+def validate_points(points: Sequence[SweepPoint]) -> None:
+    """Eagerly reject malformed sweep configuration.
+
+    Runs in the parent **before** any worker spawns or artifact builds:
+    a typo'd scheme name or a negative rate fails in milliseconds with a
+    clear message instead of as N identical tracebacks out of a pool.
+    """
+    from repro.core.scheme import SCHEMES
+
+    for point_index, point in enumerate(points):
+        where = f"sweep point {point_index}"
+        try:
+            point.settings.validate()
+        except ValueError as exc:
+            raise ValueError(f"{where}: {exc}") from None
+        if not point.schemes:
+            raise ValueError(f"{where}: no schemes to run")
+        for scheme in point.schemes:
+            if isinstance(scheme, str) and scheme not in SCHEMES:
+                known = ", ".join(sorted(SCHEMES))
+                raise ValueError(
+                    f"{where}: unknown scheme {scheme!r} (known: {known})"
+                )
+        if (point.num_caching_nodes is not None
+                and point.num_caching_nodes < 1):
+            raise ValueError(
+                f"{where}: num_caching_nodes must be >= 1, "
+                f"got {point.num_caching_nodes}"
+            )
+        if point.fault_plan is not None:
+            try:
+                point.fault_plan.validate()
+            except ValueError as exc:
+                raise ValueError(f"{where}: invalid fault plan: {exc}") from None
 
 
 def build_jobs(points: Sequence[SweepPoint]) -> list[Job]:
     """Expand sweep points into the serial-order job list.
 
     Order is (point, seed, scheme) -- exactly the nesting of the serial
-    loops in ``run_replicated`` and the per-experiment sweeps.
+    loops in ``run_replicated`` and the per-experiment sweeps.  The
+    whole sweep is validated eagerly first (:func:`validate_points`).
     """
     from repro.experiments import runner as runner_mod
     from repro.experiments.runner import make_catalog
 
+    validate_points(points)
     # Allocate per-job trace files in the parent: the sink is a plain
-    # module global and does not survive pickling into workers.
+    # module global and does not survive pickling into workers.  The
+    # ambient fault plan resolves here for the same reason.
     sink = runner_mod._TRACE_SINK
+    ambient_plan = runner_mod._FAULT_PLAN
     jobs: list[Job] = []
     job_id = 0
     for point_index, point in enumerate(points):
         settings = point.settings
+        fault_plan = (
+            point.fault_plan if point.fault_plan is not None else ambient_plan
+        )
         for seed in settings.seeds:
             artifacts = seed_artifacts(settings, seed)
             catalog = make_catalog(settings, artifacts.sources(settings.num_sources))
@@ -187,6 +250,7 @@ def build_jobs(points: Sequence[SweepPoint]) -> list[Job]:
                         with_queries=point.with_queries,
                         num_caching_nodes=point.num_caching_nodes,
                         trace_path=trace_path,
+                        fault_plan=fault_plan,
                     )
                 )
                 job_id += 1
@@ -201,11 +265,15 @@ def run_sweep(
 
     Each dict maps scheme name to the per-seed :class:`RunMetrics` list,
     in seed order -- the exact structure ``run_replicated`` builds
-    serially.
+    serially.  Jobs a degraded resilient run gave up on (``None``
+    results under ``on_failure="partial"``) are left out of the merge;
+    the journal's manifest records which they were.
     """
     specs = build_jobs(points)
     metrics = run_tasks(execute_job, specs, jobs=jobs)
     merged: list[dict[str, list["RunMetrics"]]] = [{} for _ in points]
     for spec, result in zip(specs, metrics):
+        if result is None:
+            continue
         merged[spec.point].setdefault(result.scheme, []).append(result)
     return merged

@@ -1,0 +1,380 @@
+"""Fault-tolerant sweep execution: timeouts, retries, crash recovery.
+
+:func:`run_tasks_resilient` is a drop-in executor for the same
+``(fn, specs)`` contract as :func:`repro.experiments.parallel.run_tasks`
+that survives the failure modes a plain ``ProcessPoolExecutor.map``
+does not:
+
+* **job failure** -- an exception in ``fn`` is retried up to
+  ``max_retries`` times with exponential backoff and deterministic
+  jitter (seeded from the job index, so pacing never makes a run
+  irreproducible);
+* **job hang** -- a per-job wall-clock ``job_timeout``; a pool worker
+  cannot be interrupted mid-call, so an expired job tears the pool down,
+  requeues the innocent in-flight jobs at no attempt cost, counts an
+  attempt against the expired ones, and rebuilds the pool;
+* **worker crash** -- a worker dying (OOM kill, segfault, ``os._exit``)
+  breaks the whole pool; every in-flight job is requeued and the pool is
+  rebuilt, with an attempt charged only to jobs that keep breaking it;
+* **process death** -- with a :class:`~repro.experiments.checkpoint.SweepJournal`
+  attached, each finished job is journaled immediately, so a killed run
+  resumed with the same sweep skips straight to the missing jobs and
+  merges byte-identically to an uninterrupted run.
+
+Jobs that exhaust their retries raise :class:`SweepIncomplete` by
+default; ``on_failure="partial"`` degrades gracefully instead -- failed
+slots come back as ``None`` and the journal's ``manifest.json`` records
+which jobs failed and why.
+
+Activation is contextual, mirroring ``runner.trace_output``: the
+:func:`resilient_execution` context manager installs a policy (and
+optionally a journal) that ``run_tasks`` consults, so every experiment
+built on ``run_tasks``/``run_sweep`` gains checkpoint/resume and retry
+without signature changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.experiments.checkpoint import SweepJournal
+
+
+class SweepIncomplete(RuntimeError):
+    """Raised when jobs exhaust their retries and partial results were
+    not requested.  Carries the per-job errors for diagnosis."""
+
+    def __init__(self, failures: dict[int, str],
+                 manifest: Optional[str] = None) -> None:
+        self.failures = failures
+        self.manifest = manifest
+        detail = "; ".join(
+            f"job {index}: {error}" for index, error in sorted(failures.items())
+        )
+        hint = f" (partial results manifest: {manifest})" if manifest else ""
+        super().__init__(
+            f"{len(failures)} job(s) failed after retries{hint}: {detail}"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before giving a job up."""
+
+    #: retries after the first attempt (0 = fail fast)
+    max_retries: int = 2
+    #: per-job wall-clock budget in seconds; ``None`` disables timeouts.
+    #: Only enforceable with a process pool (``jobs > 1``) -- an inline
+    #: serial job cannot be interrupted, which :func:`run_tasks_resilient`
+    #: warns about once.
+    job_timeout: Optional[float] = None
+    #: first backoff sleep in seconds
+    backoff_base: float = 0.5
+    #: multiplier per further retry
+    backoff_factor: float = 2.0
+    #: relative jitter amplitude (0.25 = up to +25%)
+    backoff_jitter: float = 0.25
+    #: ``"raise"`` -> :class:`SweepIncomplete` on permanent failure;
+    #: ``"partial"`` -> failed slots become ``None`` in the result list
+    on_failure: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError("job_timeout must be positive (or None)")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_base >= 0 and backoff_factor >= 1 required")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1]")
+        if self.on_failure not in ("raise", "partial"):
+            raise ValueError("on_failure must be 'raise' or 'partial'")
+
+    def backoff(self, index: int, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based) of job
+        ``index``; jitter is a pure function of (index, attempt)."""
+        base = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        if self.backoff_jitter > 0.0:
+            digest = hashlib.sha256(f"{index}:{attempt}".encode()).digest()
+            unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+            base *= 1.0 + self.backoff_jitter * unit
+        return base
+
+
+@dataclass
+class ReliabilityContext:
+    """The active policy/journal pair installed by
+    :func:`resilient_execution`."""
+
+    policy: RetryPolicy
+    journal: Optional[SweepJournal] = None
+
+
+_CONTEXT: Optional[ReliabilityContext] = None
+
+
+def current_context() -> Optional[ReliabilityContext]:
+    """The installed :class:`ReliabilityContext`, if any."""
+    return _CONTEXT
+
+
+@contextmanager
+def resilient_execution(
+    policy: Optional[RetryPolicy] = None,
+    journal: Optional[SweepJournal] = None,
+):
+    """Run every ``run_tasks`` sweep in the with-block resiliently.
+
+    Not reentrant, and the journal binds to the **first** sweep executed
+    inside the block (checkpointing one multi-sweep experiment under a
+    single journal would mix fingerprints).
+    """
+    global _CONTEXT
+    if _CONTEXT is not None:
+        raise RuntimeError("resilient_execution() is not reentrant")
+    context = ReliabilityContext(policy=policy or RetryPolicy(),
+                                 journal=journal)
+    _CONTEXT = context
+    try:
+        yield context
+    finally:
+        _CONTEXT = None
+        if journal is not None:
+            journal.close()
+
+
+def run_tasks_resilient(
+    fn: Callable[[Any], Any],
+    specs: Sequence[Any],
+    jobs: Optional[int] = None,
+    context: Optional[ReliabilityContext] = None,
+) -> list[Any]:
+    """Apply ``fn`` to every spec with retries, timeouts and checkpointing.
+
+    Results come back in input order (``None`` for permanently failed
+    jobs under ``on_failure="partial"``), exactly as
+    :func:`~repro.experiments.parallel.run_tasks` would order them.
+    """
+    from repro.experiments.parallel import resolve_jobs
+
+    if context is None:
+        context = current_context() or ReliabilityContext(RetryPolicy())
+    policy = context.policy
+    journal = context.journal
+    specs = list(specs)
+    results: dict[int, Any] = {}
+    failures: dict[int, str] = {}
+    attempts: dict[int, int] = {i: 0 for i in range(len(specs))}
+
+    if journal is not None:
+        from repro.experiments.checkpoint import sweep_fingerprint
+
+        if journal.fingerprint is None:
+            journal.open(fn, specs)
+        elif journal.fingerprint != sweep_fingerprint(fn, specs):
+            # The journal bound to an earlier sweep in this context
+            # (e.g. an experiment that fans out more than once); run
+            # this one without checkpointing rather than mixing keys.
+            journal = None
+    if journal is not None:
+        for index, result in journal.completed().items():
+            if 0 <= index < len(specs):
+                results[index] = result
+
+    todo = [i for i in range(len(specs)) if i not in results]
+    workers = resolve_jobs(jobs)
+    if todo:
+        if workers <= 1 or len(todo) <= 1:
+            if policy.job_timeout is not None:
+                warnings.warn(
+                    "job_timeout requires a process pool (jobs > 1); "
+                    "running serially without timeout enforcement",
+                    stacklevel=2,
+                )
+            _run_serial(fn, specs, todo, policy, journal, results, failures,
+                        attempts)
+        else:
+            _run_pool(fn, specs, todo, min(workers, len(todo)), policy,
+                      journal, results, failures, attempts)
+
+    manifest_path: Optional[str] = None
+    if journal is not None:
+        manifest_path = str(journal.write_manifest(failures))
+    if failures and policy.on_failure == "raise":
+        raise SweepIncomplete(failures, manifest=manifest_path)
+    return [results.get(i) for i in range(len(specs))]
+
+
+def _record_success(journal: Optional[SweepJournal], index: int, result: Any,
+                    attempts: int, results: dict[int, Any]) -> None:
+    results[index] = result
+    if journal is not None:
+        try:
+            journal.record(index, result, attempts=attempts)
+        except TypeError as exc:
+            # Unjournalable result type: resume cannot help this sweep,
+            # but the in-memory run is unaffected.
+            warnings.warn(f"not journaling job {index}: {exc}", stacklevel=2)
+
+
+def _run_serial(
+    fn: Callable[[Any], Any],
+    specs: list[Any],
+    todo: Sequence[int],
+    policy: RetryPolicy,
+    journal: Optional[SweepJournal],
+    results: dict[int, Any],
+    failures: dict[int, str],
+    attempts: dict[int, int],
+) -> None:
+    for index in todo:
+        while True:
+            attempts[index] += 1
+            try:
+                result = fn(specs[index])
+            except Exception as exc:  # noqa: BLE001 - retry boundary
+                if attempts[index] > policy.max_retries:
+                    failures[index] = f"{type(exc).__name__}: {exc}"
+                    break
+                time.sleep(policy.backoff(index, attempts[index]))
+                continue
+            _record_success(journal, index, result, attempts[index], results)
+            break
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard teardown: a hung worker never returns, so a graceful
+    ``shutdown(wait=True)`` would block forever.  Terminate the worker
+    processes first, then reap the executor."""
+    # Capture the workers before shutdown() drops its reference to them.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        process.terminate()
+    for process in processes:
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - stuck in kernel
+            process.kill()
+            process.join(timeout=5.0)
+
+
+def _run_pool(
+    fn: Callable[[Any], Any],
+    specs: list[Any],
+    todo: Sequence[int],
+    workers: int,
+    policy: RetryPolicy,
+    journal: Optional[SweepJournal],
+    results: dict[int, Any],
+    failures: dict[int, str],
+    attempts: dict[int, int],
+) -> None:
+    """Pool executor with per-job deadlines and crash recovery.
+
+    The pool runs in *epochs*: within an epoch jobs are submitted as
+    slots free up; a timeout or a broken pool ends the epoch (in-flight
+    jobs are requeued -- only the offender is charged an attempt) and a
+    fresh pool starts the next one.  A job that has exhausted its
+    retries is recorded as failed and never resubmitted.
+    """
+    queue: deque[int] = deque(todo)
+    #: earliest monotonic time a job may be resubmitted (retry backoff)
+    ready_at: dict[int, float] = {}
+
+    def fail_or_requeue(index: int, error: str) -> None:
+        """Charge an attempt; queue a retry or record the failure."""
+        if attempts[index] > policy.max_retries:
+            failures[index] = error
+        else:
+            ready_at[index] = (
+                time.monotonic() + policy.backoff(index, attempts[index])
+            )
+            queue.append(index)
+
+    while queue:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        running: dict[Any, int] = {}
+        deadline: dict[Any, float] = {}
+        #: set when the epoch must end with a hard pool kill (timeout)
+        forced = False
+        try:
+            while queue or running:
+                # Fill free slots with jobs whose backoff has elapsed.
+                now = time.monotonic()
+                blocked: list[int] = []
+                while queue and len(running) < workers:
+                    index = queue.popleft()
+                    if ready_at.get(index, 0.0) > now:
+                        blocked.append(index)
+                        continue
+                    attempts[index] += 1
+                    future = pool.submit(fn, specs[index])
+                    running[future] = index
+                    if policy.job_timeout is not None:
+                        deadline[future] = now + policy.job_timeout
+                queue.extend(blocked)
+                if not running:
+                    # Everything pending is backing off; sleep it out.
+                    wake = min(ready_at.get(i, 0.0) for i in queue)
+                    time.sleep(max(0.0, wake - time.monotonic()))
+                    continue
+                timeout = None
+                if deadline:
+                    timeout = max(0.05, min(deadline.values()) - time.monotonic())
+                done, _ = wait(set(running), timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    index = running.pop(future)
+                    deadline.pop(future, None)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        # The worker died; every in-flight sibling is a
+                        # casualty of the same pool. Requeue them at no
+                        # attempt cost, charge only this job, rebuild.
+                        fail_or_requeue(
+                            index, "worker process died (BrokenProcessPool)"
+                        )
+                        broken = True
+                        break
+                    except Exception as exc:  # noqa: BLE001 - retry boundary
+                        fail_or_requeue(index, f"{type(exc).__name__}: {exc}")
+                    else:
+                        _record_success(journal, index, result,
+                                        attempts[index], results)
+                if broken:
+                    break
+                # Expired deadlines: a pool worker cannot be interrupted,
+                # so tear the pool down. In-flight innocents requeue free.
+                now = time.monotonic()
+                expired = [f for f, t in deadline.items() if t <= now]
+                if expired:
+                    for future in expired:
+                        index = running.pop(future)
+                        deadline.pop(future, None)
+                        fail_or_requeue(
+                            index,
+                            f"timed out after {policy.job_timeout:.1f}s",
+                        )
+                    forced = True
+                    break
+            # Epoch over (all done, or rebuilding): requeue in-flight
+            # innocents at no attempt cost.
+            for sibling in running.values():
+                attempts[sibling] -= 1
+                queue.append(sibling)
+            running.clear()
+        finally:
+            if forced:
+                _kill_pool(pool)
+            else:
+                pool.shutdown(wait=True, cancel_futures=True)

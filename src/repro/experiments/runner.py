@@ -228,6 +228,34 @@ class TraceSink:
 #: threading a parameter through each experiment's signature.
 _TRACE_SINK: Optional[TraceSink] = None
 
+#: The active fault plan, set by :func:`fault_injection`.  Resolved by
+#: ``run_once`` (serial) and ``build_jobs`` (parallel jobs carry the
+#: resolved plan in their spec) -- the same pattern as ``_TRACE_SINK``,
+#: and how ``--faults plan.toml`` reaches every experiment.
+_FAULT_PLAN = None
+
+
+@contextmanager
+def fault_injection(plan):
+    """Inject the :class:`~repro.faults.plan.FaultPlan` into every
+    simulation run in the with-block.
+
+    Baseline guarantee: a ``None`` (or null) plan installs nothing, so
+    runs inside the block are bit-identical to runs outside it.  Not
+    reentrant; an explicit ``fault_plan=`` argument (or a sweep point's
+    own plan) takes precedence over the ambient one.
+    """
+    global _FAULT_PLAN
+    if _FAULT_PLAN is not None:
+        raise RuntimeError("fault_injection() is not reentrant")
+    if plan is not None:
+        plan.validate()
+    _FAULT_PLAN = plan
+    try:
+        yield plan
+    finally:
+        _FAULT_PLAN = None
+
 
 @contextmanager
 def trace_output(path: str | Path):
@@ -260,6 +288,7 @@ def run_once(
     num_caching_nodes: Optional[int] = None,
     rates: Optional[RateTable] = None,
     trace_path: Optional[str | Path] = None,
+    fault_plan=None,
 ) -> RunMetrics:
     """Wire, run and score one simulation.
 
@@ -271,11 +300,18 @@ def run_once(
     omitted but a :func:`trace_output` sink is active, a per-job file is
     allocated from the sink.  Tracing is passive -- the returned metrics
     are identical to an untraced run's.
+
+    ``fault_plan`` installs a :class:`~repro.faults.plan.FaultPlan`
+    before the run (falling back to an active :func:`fault_injection`
+    context); ``None``/null plans install nothing and leave the run
+    bit-identical.
     """
     if catalog is None:
         catalog = make_catalog(settings, choose_sources(trace, settings))
     if trace_path is None and _TRACE_SINK is not None:
         trace_path = _TRACE_SINK.allocate(0, seed, scheme)
+    if fault_plan is None:
+        fault_plan = _FAULT_PLAN
     bus = None
     if trace_path is not None:
         from repro.obs.bus import EventBus
@@ -298,6 +334,10 @@ def run_once(
             bus=bus,
         )
         horizon = settings.duration
+        if fault_plan is not None:
+            from repro.faults.injectors import install_faults
+
+            install_faults(runtime, fault_plan, seed=seed, until=horizon)
         runtime.install_freshness_probe(interval=settings.probe_interval, until=horizon)
         if with_queries:
             popularity = ZipfPopularity(catalog.item_ids, s=settings.zipf_exponent)

@@ -1,0 +1,40 @@
+"""Seeded, deterministic fault injection for repro simulations.
+
+The subsystem is declarative: a :class:`~repro.faults.plan.FaultPlan`
+(built in code or loaded from TOML via
+:func:`~repro.faults.plan.load_plan`) names the faults; a single call to
+:func:`~repro.faults.injectors.install_faults` wires them into a built
+:class:`~repro.core.scheme.SchemeRuntime` before it runs.  With no plan
+(or a null plan) nothing is installed and runs are bit-identical to a
+faultless build; with a plan, all fault randomness comes from one
+dedicated RNG stream keyed by ``(plan.seed_salt, seed)`` so a run is
+reproducible regardless of worker count.
+
+See ``docs/ROBUSTNESS.md`` for the full model.
+"""
+
+from repro.faults.injectors import (
+    CrashProcess,
+    FaultController,
+    InstalledFaults,
+    OutageProcess,
+    install_faults,
+)
+from repro.faults.plan import (
+    DEFAULT_SEED_SALT,
+    FaultPlan,
+    load_plan,
+    plan_from_dict,
+)
+
+__all__ = [
+    "DEFAULT_SEED_SALT",
+    "CrashProcess",
+    "FaultController",
+    "FaultPlan",
+    "InstalledFaults",
+    "OutageProcess",
+    "install_faults",
+    "load_plan",
+    "plan_from_dict",
+]

@@ -1,0 +1,340 @@
+"""Live fault injectors: a :class:`FaultPlan` wired to one runtime.
+
+:func:`install_faults` is the only entry point.  Given a wired
+:class:`~repro.core.scheme.SchemeRuntime`, it installs:
+
+* a :class:`FaultController` on the network's ``faults`` hook -- per-hop
+  message loss, finite-bandwidth transmission with
+  truncation-on-contact-close, link flaps (forced early contact closes
+  through :meth:`~repro.sim.network.ContactNetwork.force_contact_close`,
+  which releases link budgets exactly once), and bandwidth degradation;
+* a :class:`CrashProcess` -- memoryless node crash/recover over the
+  configured scope, with warm or wiped caches.  Crashes flow through
+  :meth:`~repro.sim.network.ContactNetwork.set_online`, so the freshness
+  accountant and every online listener observe them like any churn, and
+  a wipe flows through :meth:`~repro.caching.store.CacheStore.clear`,
+  so incremental accounting never diverges from the store;
+* an :class:`OutageProcess` -- data-source outage windows during which
+  version generation stalls (:meth:`SourceHandler.suspend`).
+
+All fault decisions draw from one dedicated
+``default_rng([plan.seed_salt, seed])`` stream: the simulation's own
+randomness is untouched, a given ``(plan, seed)`` pair replays the exact
+same fault sequence, and a null/absent plan wires nothing at all --
+the run is bit-identical to a build predating this module.
+
+Every injected event is counted in the runtime's stats registry under
+``fault.*`` and, when a trace bus is attached, emitted as a typed
+``fault.*`` record (see :mod:`repro.obs.records`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.sim.messages import Message
+from repro.sim.network import _PRIORITY_CONTACT_END, _PRIORITY_DELIVERY
+from repro.sim.node import Node
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.scheme import SchemeRuntime
+
+
+class FaultController:
+    """Message-plane and link-plane fault injection for one network.
+
+    Installed as ``network.faults``; the network calls
+    :meth:`on_contact_open` for every opened contact and
+    :meth:`intercept_delivery` for every admitted transfer.  Both are
+    no-ops (and draw no randomness) for sub-features the plan leaves
+    disabled, so e.g. a loss-only plan is unaffected by flap code paths.
+    """
+
+    def __init__(self, plan: FaultPlan, runtime: "SchemeRuntime",
+                 rng: np.random.Generator) -> None:
+        self.plan = plan
+        self.runtime = runtime
+        self.network = runtime.network
+        self.sim = runtime.sim
+        self.rng = rng
+        stats = runtime.stats
+        self._c_lost = stats.counter("fault.msg_lost")
+        self._c_truncated = stats.counter("fault.msg_truncated")
+        self._c_flaps = stats.counter("fault.link_flaps")
+        self._c_delayed = stats.counter("fault.msg_delayed")
+
+    # -- link plane -------------------------------------------------------
+
+    def on_contact_open(self, a: int, b: int, duration: float) -> float:
+        """Flap/degrade hook; returns the duration the link model sees."""
+        plan = self.plan
+        effective = duration
+        if plan.flap_rate > 0.0 and self.rng.random() < plan.flap_rate:
+            fraction = float(
+                self.rng.uniform(plan.min_cut_fraction, 1.0)
+            )
+            cut = duration * fraction
+            if cut < duration:
+                self.sim.schedule_at(
+                    self.sim.now + cut,
+                    self.network.force_contact_close,
+                    a,
+                    b,
+                    priority=_PRIORITY_CONTACT_END,
+                )
+                self._c_flaps.add(1)
+                effective = cut
+                trace = self.network.trace
+                if trace is not None:
+                    from repro.obs.records import FaultLinkFlap
+
+                    trace.emit(
+                        FaultLinkFlap(self.sim.now, a, b, duration, cut)
+                    )
+        if plan.degrade_factor < 1.0:
+            effective *= plan.degrade_factor
+        return effective
+
+    # -- message plane ----------------------------------------------------
+
+    def intercept_delivery(self, message: Message, sender: Node,
+                           receiver: Node) -> bool:
+        """Post-admission hook: lose, delay, or decline to intervene.
+
+        Returns ``True`` when the fault layer owns the delivery from
+        here (loss, or a delayed finite-bandwidth delivery); ``False``
+        falls through to the network's instantaneous path.
+        """
+        plan = self.plan
+        if plan.loss_rate > 0.0 and self.rng.random() < plan.loss_rate:
+            self._c_lost.add(1)
+            trace = self.network.trace
+            if trace is not None:
+                from repro.obs.records import FaultMessageLoss
+
+                trace.emit(
+                    FaultMessageLoss(self.sim.now, message.kind,
+                                     sender.node_id, receiver.node_id,
+                                     message.msg_id)
+                )
+            return True
+        if plan.bandwidth_bps is not None:
+            delay = message.size * 8.0 / plan.bandwidth_bps
+            self._c_delayed.add(1)
+            self.sim.schedule_at(
+                self.sim.now + delay,
+                self._deliver_after_transmission,
+                message,
+                sender,
+                receiver,
+                priority=_PRIORITY_DELIVERY,
+            )
+            return True
+        return False
+
+    def _deliver_after_transmission(self, message: Message, sender: Node,
+                                    receiver: Node) -> None:
+        """Finite-bandwidth delivery: the contact must have survived the
+        transmission time, else the transfer is truncated."""
+        if not sender.in_contact_with(receiver.node_id):
+            self._c_truncated.add(1)
+            trace = self.network.trace
+            if trace is not None:
+                from repro.obs.records import FaultTruncation
+
+                trace.emit(
+                    FaultTruncation(self.sim.now, message.kind,
+                                    sender.node_id, receiver.node_id,
+                                    message.msg_id)
+                )
+            return
+        # _traced_delivery emits msg.rx when tracing and is a plain
+        # receiver.receive otherwise.
+        self.network._traced_delivery(message, sender, receiver)
+
+
+class CrashProcess:
+    """Memoryless crash/recover over the plan's node scope.
+
+    Crashes are network-level (the device vanishes from every contact);
+    cache persistence decides whether a caching node restarts warm or
+    cold.  Mirrors :class:`repro.core.maintenance.ChurnProcess` pacing:
+    a recovery scheduled past ``until`` never fires, so a late crash
+    keeps the node down for the rest of the run.
+    """
+
+    def __init__(self, plan: FaultPlan, runtime: "SchemeRuntime",
+                 rng: np.random.Generator, until: float) -> None:
+        self.plan = plan
+        self.runtime = runtime
+        self.rng = rng
+        self.until = until
+        self.crashed: set[int] = set()
+        stats = runtime.stats
+        self._c_crashes = stats.counter("fault.crashes")
+        self._c_recoveries = stats.counter("fault.recoveries")
+        self._c_wiped = stats.counter("fault.cache_entries_wiped")
+        if plan.crash_scope == "caching":
+            self.scope = list(runtime.caching_nodes)
+        else:
+            self.scope = sorted(runtime.nodes)
+
+    def install(self) -> None:
+        if self.plan.crash_rate <= 0.0:
+            return
+        for node_id in self.scope:
+            self._schedule_crash(node_id)
+
+    def _schedule_crash(self, node_id: int) -> None:
+        delay = float(self.rng.exponential(1.0 / self.plan.crash_rate))
+        when = self.runtime.sim.now + delay
+        if when <= self.until:
+            self.runtime.sim.schedule_at(when, self._crash, node_id)
+
+    def _crash(self, node_id: int) -> None:
+        node = self.runtime.nodes[node_id]
+        if not node.online:
+            # Already down (overlapping churn process); try again later.
+            self._schedule_crash(node_id)
+            return
+        now = self.runtime.sim.now
+        self.runtime.network.set_online(node_id, False)
+        self.crashed.add(node_id)
+        entries_lost = 0
+        wiped = self.plan.cache_persistence == "wipe"
+        store = self.runtime.stores.get(node_id)
+        if wiped and store is not None:
+            entries_lost = store.clear(now)
+            self._c_wiped.add(entries_lost)
+        self._c_crashes.add(1)
+        trace = self.runtime.network.trace
+        if trace is not None:
+            from repro.obs.records import FaultCrash
+
+            trace.emit(FaultCrash(now, node_id, wiped, entries_lost))
+        downtime = float(self.rng.exponential(self.plan.mean_downtime_s))
+        when = now + downtime
+        if when <= self.until:
+            self.runtime.sim.schedule_at(when, self._recover, node_id)
+
+    def _recover(self, node_id: int) -> None:
+        if node_id not in self.crashed:
+            return
+        self.crashed.discard(node_id)
+        if not self.runtime.nodes[node_id].online:
+            self.runtime.network.set_online(node_id, True)
+        self._c_recoveries.add(1)
+        trace = self.runtime.network.trace
+        if trace is not None:
+            from repro.obs.records import FaultRecover
+
+            trace.emit(FaultRecover(self.runtime.sim.now, node_id))
+        self._schedule_crash(node_id)
+
+
+class OutageProcess:
+    """Data-source outage windows stalling version generation."""
+
+    def __init__(self, plan: FaultPlan, runtime: "SchemeRuntime",
+                 rng: np.random.Generator, until: float) -> None:
+        from repro.core.refresh import SourceHandler
+
+        self.plan = plan
+        self.runtime = runtime
+        self.rng = rng
+        self.until = until
+        self._c_outages = runtime.stats.counter("fault.source_outages")
+        self.handlers: dict[int, SourceHandler] = {}
+        for source in runtime.sources:
+            handler = runtime.nodes[source].find_handler(SourceHandler)
+            if handler is not None:
+                self.handlers[source] = handler
+
+    def install(self) -> None:
+        if self.plan.outage_rate <= 0.0:
+            return
+        for source in sorted(self.handlers):
+            self._schedule_outage(source)
+
+    def _schedule_outage(self, source: int) -> None:
+        delay = float(self.rng.exponential(1.0 / self.plan.outage_rate))
+        when = self.runtime.sim.now + delay
+        if when <= self.until:
+            self.runtime.sim.schedule_at(when, self._begin, source)
+
+    def _begin(self, source: int) -> None:
+        handler = self.handlers[source]
+        duration = float(self.rng.exponential(self.plan.mean_outage_s))
+        handler.suspend()
+        self._c_outages.add(1)
+        now = self.runtime.sim.now
+        trace = self.runtime.network.trace
+        if trace is not None:
+            from repro.obs.records import FaultOutage
+
+            trace.emit(FaultOutage(now, source, "begin", duration))
+        self.runtime.sim.schedule_at(now + duration, self._end, source,
+                                     duration)
+
+    def _end(self, source: int, duration: float) -> None:
+        self.handlers[source].resume()
+        trace = self.runtime.network.trace
+        if trace is not None:
+            from repro.obs.records import FaultOutage
+
+            trace.emit(
+                FaultOutage(self.runtime.sim.now, source, "end", duration)
+            )
+        self._schedule_outage(source)
+
+
+class InstalledFaults:
+    """Handle on everything :func:`install_faults` wired to a runtime."""
+
+    def __init__(self, plan: FaultPlan, controller: FaultController,
+                 crashes: CrashProcess, outages: OutageProcess) -> None:
+        self.plan = plan
+        self.controller = controller
+        self.crashes = crashes
+        self.outages = outages
+
+    def counters(self) -> dict[str, float]:
+        """Every ``fault.*`` counter value (diagnostics/tests)."""
+        stats = self.controller.runtime.stats
+        return {
+            name: stats.counter_value(name)
+            for name in (
+                "fault.msg_lost", "fault.msg_truncated", "fault.msg_delayed",
+                "fault.link_flaps", "fault.crashes", "fault.recoveries",
+                "fault.cache_entries_wiped", "fault.source_outages",
+            )
+        }
+
+
+def install_faults(
+    runtime: "SchemeRuntime",
+    plan: Optional[FaultPlan],
+    seed: int,
+    until: float,
+) -> Optional[InstalledFaults]:
+    """Wire ``plan`` to ``runtime``; must run before ``runtime.run``.
+
+    A ``None`` or null plan installs nothing and returns ``None`` -- the
+    run stays bit-identical to one without the fault subsystem.  The
+    fault RNG stream is ``default_rng([plan.seed_salt, seed])``, fully
+    independent of the simulation's own seeded randomness.
+    """
+    if plan is None or plan.is_null():
+        return None
+    plan.validate()
+    rng = np.random.default_rng([plan.seed_salt & 0xFFFFFFFF, int(seed)])
+    controller = FaultController(plan, runtime, rng)
+    runtime.network.faults = controller
+    crashes = CrashProcess(plan, runtime, rng, until)
+    crashes.install()
+    outages = OutageProcess(plan, runtime, rng, until)
+    outages.install()
+    return InstalledFaults(plan, controller, crashes, outages)

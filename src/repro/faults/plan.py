@@ -1,0 +1,233 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` describes every adversarial condition a simulation
+run should be subjected to: per-hop message loss, finite-bandwidth
+transmission (which makes contact closes able to truncate in-flight
+transfers), node crash/recover cycles with configurable cache
+persistence, link flaps and bandwidth degradation, and data-source
+outage windows that stall version generation.
+
+Plans are plain frozen dataclasses so they pickle into pool workers
+unchanged, and they are *pure configuration*: nothing here touches a
+simulation.  :func:`repro.faults.injectors.install_faults` turns a plan
+into live injectors wired to one :class:`~repro.core.scheme.SchemeRuntime`.
+
+Determinism contract:
+
+* a run with **no plan** (or :meth:`FaultPlan.is_null` true) consumes no
+  extra randomness and schedules no extra events -- its output is
+  bit-identical to a build without the fault subsystem;
+* a run **with** a plan draws every fault decision from a dedicated RNG
+  stream seeded by ``(seed_salt, run seed)``, so the same
+  ``(plan, seed)`` pair replays the exact same faults regardless of
+  worker count or scheduling.
+
+Plans load from TOML (:func:`load_plan`)::
+
+    # faults.toml
+    [messages]
+    loss_rate = 0.05            # per-hop loss probability
+    bandwidth_bps = 250_000     # finite transmission -> truncation possible
+
+    [crashes]
+    rate_per_day = 0.5          # per-node crash rate
+    mean_downtime_s = 3600.0
+    cache = "wipe"              # or "warm"
+
+    [links]
+    flap_rate = 0.1             # fraction of contacts cut short
+    min_cut_fraction = 0.2      # a flapped contact keeps >= 20% of its span
+    degrade_factor = 0.8        # link budgets see 80% of the real duration
+
+    [sources]
+    outage_rate_per_day = 0.25  # per-source outage rate
+    mean_outage_s = 7200.0
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Any
+
+DAY = 86400.0
+
+#: default salt mixed with the run seed for the fault RNG stream, so the
+#: fault draws never collide with the scheme's own ``default_rng(seed)``
+DEFAULT_SEED_SALT = 0xFA17
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Every knob of the fault-injection subsystem (all off by default)."""
+
+    # -- message plane ----------------------------------------------------
+    #: probability an admitted transfer is lost in flight (per hop); the
+    #: sender is charged and believes the send succeeded
+    loss_rate: float = 0.0
+    #: finite link bandwidth in bits/s; transfers then take
+    #: ``size * 8 / bandwidth`` seconds and a contact close (trace-driven
+    #: or flap-forced) mid-flight truncates them.  ``None`` keeps the
+    #: instantaneous-delivery model.
+    bandwidth_bps: float | None = None
+
+    # -- node crashes -----------------------------------------------------
+    #: per-node crash rate in 1/day (0 disables crashes)
+    crash_rate_per_day: float = 0.0
+    #: mean downtime after a crash, seconds
+    mean_downtime_s: float = 3600.0
+    #: ``"caching"`` crashes only caching nodes, ``"all"`` every node
+    crash_scope: str = "caching"
+    #: ``"warm"`` keeps the cache across a crash (battery pull, flash
+    #: survives); ``"wipe"`` clears it (cold restart)
+    cache_persistence: str = "warm"
+
+    # -- link faults ------------------------------------------------------
+    #: probability a contact is cut short (flaps) before its trace end
+    flap_rate: float = 0.0
+    #: a flapped contact keeps at least this fraction of its duration
+    min_cut_fraction: float = 0.1
+    #: multiply the duration the link model sees (bandwidth degradation
+    #: for budget-based links); 1.0 = no degradation
+    degrade_factor: float = 1.0
+
+    # -- data-source outages ---------------------------------------------
+    #: per-source outage rate in 1/day (0 disables outages)
+    outage_rate_per_day: float = 0.0
+    #: mean outage window length, seconds
+    mean_outage_s: float = 7200.0
+
+    #: salt mixed with the run seed for the dedicated fault RNG stream
+    seed_salt: int = DEFAULT_SEED_SALT
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any out-of-range or unknown field value."""
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {self.loss_rate}")
+        if self.bandwidth_bps is not None and not self.bandwidth_bps > 0:
+            raise ValueError(
+                f"bandwidth_bps must be positive, got {self.bandwidth_bps}"
+            )
+        if self.crash_rate_per_day < 0 or not math.isfinite(self.crash_rate_per_day):
+            raise ValueError(
+                f"crash_rate_per_day must be a finite non-negative number, "
+                f"got {self.crash_rate_per_day}"
+            )
+        if not self.mean_downtime_s > 0:
+            raise ValueError(
+                f"mean_downtime_s must be positive, got {self.mean_downtime_s}"
+            )
+        if self.crash_scope not in ("caching", "all"):
+            raise ValueError(
+                f"crash_scope must be 'caching' or 'all', got {self.crash_scope!r}"
+            )
+        if self.cache_persistence not in ("warm", "wipe"):
+            raise ValueError(
+                f"cache_persistence must be 'warm' or 'wipe', "
+                f"got {self.cache_persistence!r}"
+            )
+        if not 0.0 <= self.flap_rate <= 1.0:
+            raise ValueError(f"flap_rate must be in [0, 1], got {self.flap_rate}")
+        if not 0.0 <= self.min_cut_fraction <= 1.0:
+            raise ValueError(
+                f"min_cut_fraction must be in [0, 1], got {self.min_cut_fraction}"
+            )
+        if not 0.0 < self.degrade_factor <= 1.0:
+            raise ValueError(
+                f"degrade_factor must be in (0, 1], got {self.degrade_factor}"
+            )
+        if self.outage_rate_per_day < 0 or not math.isfinite(self.outage_rate_per_day):
+            raise ValueError(
+                f"outage_rate_per_day must be a finite non-negative number, "
+                f"got {self.outage_rate_per_day}"
+            )
+        if not self.mean_outage_s > 0:
+            raise ValueError(
+                f"mean_outage_s must be positive, got {self.mean_outage_s}"
+            )
+
+    def is_null(self) -> bool:
+        """True when the plan injects nothing (baseline stays bit-identical)."""
+        return (
+            self.loss_rate == 0.0
+            and self.bandwidth_bps is None
+            and self.crash_rate_per_day == 0.0
+            and self.flap_rate == 0.0
+            and self.degrade_factor == 1.0
+            and self.outage_rate_per_day == 0.0
+        )
+
+    @property
+    def crash_rate(self) -> float:
+        """Per-node crash rate in 1/s."""
+        return self.crash_rate_per_day / DAY
+
+    @property
+    def outage_rate(self) -> float:
+        """Per-source outage rate in 1/s."""
+        return self.outage_rate_per_day / DAY
+
+    def with_(self, **overrides: Any) -> "FaultPlan":
+        """A copy with some fields replaced (re-validated)."""
+        return replace(self, **overrides)
+
+
+#: TOML section/key -> FaultPlan field
+_TOML_KEYS: dict[tuple[str, str], str] = {
+    ("messages", "loss_rate"): "loss_rate",
+    ("messages", "bandwidth_bps"): "bandwidth_bps",
+    ("crashes", "rate_per_day"): "crash_rate_per_day",
+    ("crashes", "mean_downtime_s"): "mean_downtime_s",
+    ("crashes", "scope"): "crash_scope",
+    ("crashes", "cache"): "cache_persistence",
+    ("links", "flap_rate"): "flap_rate",
+    ("links", "min_cut_fraction"): "min_cut_fraction",
+    ("links", "degrade_factor"): "degrade_factor",
+    ("sources", "outage_rate_per_day"): "outage_rate_per_day",
+    ("sources", "mean_outage_s"): "mean_outage_s",
+    ("plan", "seed_salt"): "seed_salt",
+}
+
+
+def plan_from_dict(data: dict[str, Any]) -> FaultPlan:
+    """Build a validated plan from a (TOML-shaped) nested dict.
+
+    Accepts both the sectioned TOML layout and a flat dict of field
+    names.  Unknown sections or keys raise ``ValueError`` eagerly so a
+    typo in a plan file fails before any worker spawns.
+    """
+    field_names = {f.name for f in fields(FaultPlan)}
+    kwargs: dict[str, Any] = {}
+    for key, value in data.items():
+        if isinstance(value, dict):
+            for sub_key, sub_value in value.items():
+                target = _TOML_KEYS.get((key, sub_key))
+                if target is None:
+                    raise ValueError(
+                        f"unknown fault-plan key [{key}] {sub_key!r}"
+                    )
+                kwargs[target] = sub_value
+        elif key in field_names:
+            kwargs[key] = value
+        else:
+            raise ValueError(f"unknown fault-plan key {key!r}")
+    return FaultPlan(**kwargs)
+
+
+def load_plan(path: str | Path) -> FaultPlan:
+    """Load and validate a fault plan from a TOML file."""
+    import tomllib
+
+    raw = Path(path).read_bytes()
+    try:
+        data = tomllib.loads(raw.decode("utf-8"))
+    except tomllib.TOMLDecodeError as exc:
+        raise ValueError(f"invalid fault plan {path}: {exc}") from None
+    try:
+        return plan_from_dict(data)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"invalid fault plan {path}: {exc}") from None

@@ -34,6 +34,7 @@ _LANES = {
     "query": (4, "queries"),
     "node": (5, "churn"),
     "engine": (6, "engine"),
+    "fault": (7, "faults"),
 }
 
 
@@ -109,7 +110,7 @@ def load_trace(path: str | Path) -> list[TraceRecord]:
 
 
 def _lane(kind: str) -> tuple[int, str]:
-    return _LANES.get(kind.split(".", 1)[0], (7, "other"))
+    return _LANES.get(kind.split(".", 1)[0], (8, "other"))
 
 
 def _node_events(record: TraceRecord) -> list[tuple[int, dict]]:
@@ -127,6 +128,12 @@ def _node_events(record: TraceRecord) -> list[tuple[int, dict]]:
         return [(data["sender"], {"ph": "i", "s": "t"})]
     if kind == "msg.rx":
         return [(data["receiver"], {"ph": "i", "s": "t"})]
+    if kind in ("fault.msg_loss", "fault.truncate"):
+        return [(data["sender"], {"ph": "i", "s": "t"}),
+                (data["receiver"], {"ph": "i", "s": "t"})]
+    if kind == "fault.flap":
+        return [(data["a"], {"ph": "i", "s": "t"}),
+                (data["b"], {"ph": "i", "s": "t"})]
     if kind == "msg.create":
         return [(data["src"], {"ph": "i", "s": "t"})]
     node = data.get("node")

@@ -31,7 +31,17 @@ kind                emitted when
 ``query.hit``       a node answers a query from a provider
 ``query.miss``      a queried node has no answer and keeps forwarding
 ``query.complete``  the requester receives its answer
+``fault.msg_loss``  the fault layer loses an admitted transfer in flight
+``fault.truncate``  a contact close truncates an in-flight transfer
+``fault.crash``     a node crashes (``cache_wiped``/``entries_lost``)
+``fault.recover``   a crashed node comes back
+``fault.flap``      a link flap cuts a contact short
+``fault.outage``    a data source stalls/resumes version generation
 ================== ====================================================
+
+The ``fault.*`` family is emitted only by
+:mod:`repro.faults.injectors`; a run without a fault plan produces none
+of them (see docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -323,6 +333,88 @@ class QueryComplete(TraceRecord):
         self.delay = delay
 
 
+class FaultMessageLoss(TraceRecord):
+    """The fault layer lost an admitted transfer in flight (the sender
+    was charged and believes the send succeeded)."""
+
+    kind = "fault.msg_loss"
+    __slots__ = ("msg_kind", "sender", "receiver", "msg_id")
+
+    def __init__(self, time: float, msg_kind: str, sender: int, receiver: int,
+                 msg_id: int) -> None:
+        super().__init__(time)
+        self.msg_kind = msg_kind
+        self.sender = sender
+        self.receiver = receiver
+        self.msg_id = msg_id
+
+
+class FaultTruncation(TraceRecord):
+    """A contact closed while a finite-bandwidth transfer was in flight."""
+
+    kind = "fault.truncate"
+    __slots__ = ("msg_kind", "sender", "receiver", "msg_id")
+
+    def __init__(self, time: float, msg_kind: str, sender: int, receiver: int,
+                 msg_id: int) -> None:
+        super().__init__(time)
+        self.msg_kind = msg_kind
+        self.sender = sender
+        self.receiver = receiver
+        self.msg_id = msg_id
+
+
+class FaultCrash(TraceRecord):
+    kind = "fault.crash"
+    __slots__ = ("node", "cache_wiped", "entries_lost")
+
+    def __init__(self, time: float, node: int, cache_wiped: bool,
+                 entries_lost: int) -> None:
+        super().__init__(time)
+        self.node = node
+        self.cache_wiped = cache_wiped
+        self.entries_lost = entries_lost
+
+
+class FaultRecover(TraceRecord):
+    kind = "fault.recover"
+    __slots__ = ("node",)
+
+    def __init__(self, time: float, node: int) -> None:
+        super().__init__(time)
+        self.node = node
+
+
+class FaultLinkFlap(TraceRecord):
+    """A link flap force-closed a contact before its trace end time."""
+
+    kind = "fault.flap"
+    __slots__ = ("a", "b", "planned_duration", "cut_duration")
+
+    def __init__(self, time: float, a: int, b: int, planned_duration: float,
+                 cut_duration: float) -> None:
+        super().__init__(time)
+        self.a = a
+        self.b = b
+        self.planned_duration = planned_duration
+        self.cut_duration = cut_duration
+
+
+class FaultOutage(TraceRecord):
+    """A data source stalled (``phase="begin"``) or resumed
+    (``phase="end"``) version generation."""
+
+    kind = "fault.outage"
+    __slots__ = ("node", "phase", "duration")
+
+    def __init__(self, time: float, node: int, phase: str,
+                 duration: float) -> None:
+        super().__init__(time)
+        self.node = node
+        self.phase = phase
+        self.duration = duration
+
+
 #: wire name -> record class, for JSONL reconstruction
 RECORD_TYPES: dict[str, Type[TraceRecord]] = {
     cls.kind: cls
@@ -332,6 +424,8 @@ RECORD_TYPES: dict[str, Type[TraceRecord]] = {
         TaskCreate, TaskDrop,
         CachePut, CacheEvict, CacheExpire, CacheRemove,
         QueryIssue, QueryHit, QueryMiss, QueryComplete,
+        FaultMessageLoss, FaultTruncation, FaultCrash, FaultRecover,
+        FaultLinkFlap, FaultOutage,
     )
 }
 

@@ -81,6 +81,14 @@ def format_trace_report(records: Sequence[TraceRecord],
         ]
         lines += ["", format_table(rows, title="busiest links")]
 
+    fault_rows = [
+        {"fault": kind.split(".", 1)[1], "count": count}
+        for kind, count in summary["kinds"].items()
+        if kind.startswith("fault.")
+    ]
+    if fault_rows:
+        lines += ["", format_table(fault_rows, title="injected faults")]
+
     queries = summary["queries"]
     if queries["issued"]:
         lines += ["", format_table(

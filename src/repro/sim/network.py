@@ -147,6 +147,16 @@ class ContactNetwork:
         #: is behind a single ``is not None`` check, so an untraced
         #: network runs the pre-instrumentation transfer path.
         self.trace = None
+        #: optional :class:`repro.faults.injectors.FaultController`; like
+        #: ``trace``, every hook is behind one ``is not None`` check so a
+        #: fault-free network runs the exact pre-fault code path.
+        self.faults = None
+        #: unordered pairs whose current contact was force-closed early
+        #: (link flap / fault injection); the pending trace-scheduled
+        #: ``_contact_end`` for such a pair must become a no-op, so the
+        #: link budget is released exactly once and a subsequent contact
+        #: of the same pair is never closed by the stale end event.
+        self._forced_closed: set[tuple[int, int]] = set()
         for node in self.nodes.values():
             node.network = self
         self._schedule_trace(contacts)
@@ -198,7 +208,12 @@ class ContactNetwork:
         if not (node_a.online and node_b.online):
             self._c_contacts_skipped.add(1)
             return
-        self.link_model.contact_opened(a, b, duration)
+        link_duration = duration
+        if self.faults is not None:
+            # May degrade the duration the link budget is derived from
+            # and/or schedule a forced early close (link flap).
+            link_duration = self.faults.on_contact_open(a, b, duration)
+        self.link_model.contact_opened(a, b, link_duration)
         self._c_contacts.add(1)
         if self.trace is not None:
             from repro.obs.records import ContactOpen
@@ -208,6 +223,16 @@ class ContactNetwork:
         node_b.contact_started(node_a)
 
     def _contact_end(self, a: int, b: int) -> None:
+        if self._forced_closed:
+            key = (a, b) if a <= b else (b, a)
+            if key in self._forced_closed:
+                # This contact was already closed early by a fault; its
+                # budget was released then.  Consuming the marker (rather
+                # than closing again) guards against double-release and
+                # against tearing down a *new* contact the pair may have
+                # opened at exactly this timestamp.
+                self._forced_closed.discard(key)
+                return
         node_a, node_b = self.nodes[a], self.nodes[b]
         # Only close contacts that actually opened (both ends were online).
         opened = node_a.in_contact_with(b) or node_b.in_contact_with(a)
@@ -220,6 +245,31 @@ class ContactNetwork:
             from repro.obs.records import ContactClose
 
             self.trace.emit(ContactClose(self.sim.now, a, b))
+
+    def force_contact_close(self, a: int, b: int) -> bool:
+        """Close the pair's open contact *now* (fault-driven early close).
+
+        Used by the link-flap injector to truncate a contact before its
+        trace end time.  The nodes' handlers see a normal contact end,
+        the link budget is released exactly once, and the pair is marked
+        so the still-pending trace-scheduled end becomes a no-op.
+        Returns ``True`` if a contact was actually open.
+        """
+        node_a, node_b = self.nodes[a], self.nodes[b]
+        opened = node_a.in_contact_with(b) or node_b.in_contact_with(a)
+        if not opened:
+            return False
+        if node_a.in_contact_with(b):
+            node_a.contact_ended(node_b)
+        if node_b.in_contact_with(a):
+            node_b.contact_ended(node_a)
+        self.link_model.contact_closed(a, b)
+        self._forced_closed.add((a, b) if a <= b else (b, a))
+        if self.trace is not None:
+            from repro.obs.records import ContactClose
+
+            self.trace.emit(ContactClose(self.sim.now, a, b))
+        return True
 
     def set_online(self, node_id: int, online: bool) -> None:
         """Take a node offline (closing its open contacts) or bring it back."""
@@ -299,6 +349,14 @@ class ContactNetwork:
                     message.hop_count,
                 )
             )
+        if self.faults is not None and self.faults.intercept_delivery(
+            message, sender, receiver
+        ):
+            # The fault layer took over: the transfer was admitted (and
+            # charged, so the sender believes it succeeded) but is either
+            # lost in flight or delivered later with truncation exposure.
+            return True
+        if self.trace is not None:
             # Deliver through a wrapper that emits msg.rx just before the
             # receiver runs.  Scheduled at the same (time, priority) as the
             # untraced path, so heap ordering -- and hence the metrics of a

@@ -1,0 +1,385 @@
+"""Tests for the fault-injection subsystem (plan, injectors, wiring)."""
+
+import math
+
+import pytest
+
+from repro.experiments import Settings
+from repro.experiments.artifacts import cache_clear
+from repro.experiments.parallel import SweepPoint, run_sweep
+from repro.experiments.runner import fault_injection, make_trace, run_once
+from repro.faults import FaultPlan, install_faults, load_plan, plan_from_dict
+
+DAY = 86400.0
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return Settings.fast().with_(duration=1 * DAY, seeds=(1,))
+
+
+@pytest.fixture(scope="module")
+def trace(settings):
+    return make_trace(settings, 1)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    cache_clear()
+    yield
+    cache_clear()
+
+
+HARSH = FaultPlan(
+    loss_rate=0.2,
+    bandwidth_bps=200_000.0,
+    crash_rate_per_day=4.0,
+    mean_downtime_s=3600.0,
+    cache_persistence="wipe",
+    flap_rate=0.3,
+    outage_rate_per_day=2.0,
+    mean_outage_s=3600.0,
+)
+
+
+class TestFaultPlan:
+    def test_default_plan_is_null(self):
+        assert FaultPlan().is_null()
+
+    def test_any_fault_knob_makes_it_non_null(self):
+        assert not FaultPlan(loss_rate=0.1).is_null()
+        assert not FaultPlan(crash_rate_per_day=1.0).is_null()
+        assert not FaultPlan(flap_rate=0.1).is_null()
+        assert not FaultPlan(bandwidth_bps=1e6).is_null()
+        assert not FaultPlan(degrade_factor=0.5).is_null()
+        assert not FaultPlan(outage_rate_per_day=1.0).is_null()
+
+    @pytest.mark.parametrize("bad", [
+        {"loss_rate": -0.1},
+        {"loss_rate": 1.5},
+        {"bandwidth_bps": 0.0},
+        {"crash_rate_per_day": -1.0},
+        {"mean_downtime_s": -5.0},
+        {"crash_scope": "nobody"},
+        {"cache_persistence": "frozen"},
+        {"flap_rate": 2.0},
+        {"min_cut_fraction": 1.5},
+        {"degrade_factor": 0.0},
+        {"outage_rate_per_day": -1.0},
+    ])
+    def test_validation_rejects_bad_values(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan(**bad)
+
+    def test_from_dict_toml_sections(self):
+        plan = plan_from_dict({
+            "messages": {"loss_rate": 0.1, "bandwidth_bps": 1e6},
+            "crashes": {"rate_per_day": 2.0, "cache": "wipe"},
+            "links": {"flap_rate": 0.2},
+            "sources": {"outage_rate_per_day": 1.0},
+        })
+        assert plan.loss_rate == 0.1
+        assert plan.bandwidth_bps == 1e6
+        assert plan.crash_rate_per_day == 2.0
+        assert plan.cache_persistence == "wipe"
+        assert plan.flap_rate == 0.2
+        assert plan.outage_rate_per_day == 1.0
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            plan_from_dict({"messages": {"loss_rat": 0.1}})
+        with pytest.raises(ValueError, match="unknown"):
+            plan_from_dict({"typo_section": {"loss_rate": 0.1}})
+
+    def test_load_plan_round_trip(self, tmp_path):
+        path = tmp_path / "plan.toml"
+        path.write_text(
+            "[messages]\nloss_rate = 0.25\n[crashes]\nrate_per_day = 1.5\n"
+        )
+        plan = load_plan(path)
+        assert plan.loss_rate == 0.25
+        assert plan.crash_rate_per_day == 1.5
+
+    def test_load_plan_bad_toml_raises_value_error(self, tmp_path):
+        path = tmp_path / "broken.toml"
+        path.write_text("[messages\nloss_rate=")
+        with pytest.raises(ValueError):
+            load_plan(path)
+
+    def test_example_plan_parses(self):
+        from pathlib import Path
+
+        example = Path(__file__).resolve().parent.parent / "examples" / "faults" / "harsh.toml"
+        plan = load_plan(example)
+        assert not plan.is_null()
+
+
+class TestNullPlanIdentity:
+    """A null/absent plan must leave runs bit-identical."""
+
+    def test_null_plan_matches_no_plan(self, trace, settings):
+        base = run_once(trace, "hdr", settings, seed=1)
+        null = run_once(trace, "hdr", settings, seed=1, fault_plan=FaultPlan())
+        assert base.same_as(null)
+
+    def test_install_faults_returns_none_for_null_plan(self, trace, settings):
+        from repro.core.scheme import build_simulation
+        from repro.experiments.runner import choose_sources, make_catalog
+
+        catalog = make_catalog(settings, choose_sources(trace, settings))
+        runtime = build_simulation(trace, catalog, scheme="hdr",
+                                   num_caching_nodes=5, seed=1)
+        assert install_faults(runtime, None, seed=1, until=DAY) is None
+        assert install_faults(runtime, FaultPlan(), seed=1, until=DAY) is None
+        assert runtime.network.faults is None
+
+
+class TestFaultDeterminism:
+    def test_same_plan_same_seed_is_identical(self, trace, settings):
+        first = run_once(trace, "hdr", settings, seed=1, fault_plan=HARSH)
+        second = run_once(trace, "hdr", settings, seed=1, fault_plan=HARSH)
+        assert first.same_as(second)
+
+    def test_faults_actually_change_the_run(self, trace, settings):
+        base = run_once(trace, "hdr", settings, seed=1)
+        faulted = run_once(trace, "hdr", settings, seed=1, fault_plan=HARSH)
+        assert not faulted.same_as(base)
+
+    def test_seed_salt_changes_the_fault_stream(self, trace, settings):
+        salted = HARSH.with_(seed_salt=0x1234)
+        a = run_once(trace, "hdr", settings, seed=1, fault_plan=HARSH)
+        b = run_once(trace, "hdr", settings, seed=1, fault_plan=salted)
+        assert not a.same_as(b)
+
+    def test_ambient_context_equals_explicit_argument(self, trace, settings):
+        explicit = run_once(trace, "hdr", settings, seed=1, fault_plan=HARSH)
+        with fault_injection(HARSH):
+            ambient = run_once(trace, "hdr", settings, seed=1)
+        assert explicit.same_as(ambient)
+
+    def test_serial_and_parallel_faulted_sweeps_match(self, settings):
+        point = SweepPoint(settings=settings, schemes=("hdr", "flat"),
+                           fault_plan=HARSH)
+        serial = run_sweep([point], jobs=1)[0]
+        parallel = run_sweep([point], jobs=2)[0]
+        assert set(serial) == set(parallel)
+        for scheme in serial:
+            for a, b in zip(serial[scheme], parallel[scheme]):
+                assert a.same_as(b)
+
+
+def _build_runtime(trace, settings, seed=1, bus=None):
+    from repro.core.scheme import build_simulation
+    from repro.experiments.runner import choose_sources, make_catalog
+
+    catalog = make_catalog(settings, choose_sources(trace, settings))
+    return build_simulation(trace, catalog, scheme="hdr",
+                            num_caching_nodes=5, seed=seed, bus=bus)
+
+
+class TestInjectors:
+    def test_loss_counted_and_reduces_deliveries(self, trace, settings):
+        runtime = _build_runtime(trace, settings)
+        install_faults(runtime, FaultPlan(loss_rate=0.5), seed=1, until=DAY)
+        runtime.run(until=DAY)
+        lost = runtime.stats.counter_value("fault.msg_lost")
+        sent = runtime.stats.counter_value("net.transfers")
+        assert lost > 0
+        # Roughly half of admitted transfers should be lost.
+        assert 0.3 < lost / sent < 0.7
+
+    def test_crash_wipe_keeps_accountant_consistent(self, trace, settings):
+        runtime = _build_runtime(trace, settings)
+        install_faults(
+            runtime,
+            FaultPlan(crash_rate_per_day=8.0, mean_downtime_s=1800.0,
+                      cache_persistence="wipe"),
+            seed=1, until=DAY,
+        )
+        runtime.run(until=DAY)
+        assert runtime.stats.counter_value("fault.crashes") > 0
+        # The incremental accountant must agree with a brute-force scan
+        # even after mid-run cache wipes and offline windows.
+        assert runtime.freshness_snapshot() == runtime.freshness_snapshot(
+            recompute=True
+        )
+
+    def test_warm_restart_does_not_wipe(self, trace, settings):
+        runtime = _build_runtime(trace, settings)
+        install_faults(
+            runtime,
+            FaultPlan(crash_rate_per_day=8.0, mean_downtime_s=1800.0,
+                      cache_persistence="warm"),
+            seed=1, until=DAY,
+        )
+        runtime.run(until=DAY)
+        assert runtime.stats.counter_value("fault.crashes") > 0
+        assert runtime.stats.counter_value("fault.cache_entries_wiped") == 0
+
+    def test_outages_stall_publishes(self, trace, settings):
+        runtime = _build_runtime(trace, settings)
+        install_faults(
+            runtime,
+            FaultPlan(outage_rate_per_day=24.0, mean_outage_s=7200.0),
+            seed=1, until=DAY,
+        )
+        runtime.run(until=DAY)
+        assert runtime.stats.counter_value("fault.source_outages") > 0
+        assert runtime.stats.counter_value("refresh.publishes_stalled") > 0
+
+    def test_flaps_shorten_contacts(self, trace, settings):
+        runtime = _build_runtime(trace, settings)
+        install_faults(
+            runtime,
+            FaultPlan(flap_rate=0.5, min_cut_fraction=0.1),
+            seed=1, until=DAY,
+        )
+        runtime.run(until=DAY)
+        assert runtime.stats.counter_value("fault.link_flaps") > 0
+
+    def test_bandwidth_delay_can_truncate(self, trace, settings):
+        runtime = _build_runtime(trace, settings)
+        # Very slow radio: 1 KiB takes ~82 s, so some transfers outlive
+        # their contact and are truncated.
+        install_faults(runtime, FaultPlan(bandwidth_bps=100.0),
+                       seed=1, until=DAY)
+        runtime.run(until=DAY)
+        assert runtime.stats.counter_value("fault.msg_delayed") > 0
+        assert runtime.stats.counter_value("fault.msg_truncated") > 0
+
+    def test_fault_records_round_trip(self, trace, settings, tmp_path):
+        from repro.obs.bus import EventBus
+        from repro.obs.export import read_jsonl, write_jsonl
+
+        bus = EventBus()
+        runtime = _build_runtime(trace, settings, bus=bus)
+        install_faults(runtime, HARSH, seed=1, until=DAY)
+        runtime.run(until=DAY)
+        kinds = {record.kind for record in bus.records}
+        assert "fault.msg_loss" in kinds
+        assert "fault.crash" in kinds
+        assert "fault.flap" in kinds
+        path = tmp_path / "faults.jsonl"
+        write_jsonl(bus.records, path)
+        loaded = read_jsonl(path)
+        assert [r.as_dict() for r in loaded] == [
+            r.as_dict() for r in bus.records
+        ]
+
+    def test_fault_report_section(self, trace, settings):
+        from repro.obs.bus import EventBus
+        from repro.obs.report import format_trace_report
+
+        bus = EventBus()
+        runtime = _build_runtime(trace, settings, bus=bus)
+        install_faults(runtime, HARSH, seed=1, until=DAY)
+        runtime.run(until=DAY)
+        report = format_trace_report(bus.records)
+        assert "injected faults" in report
+        assert "msg_loss" in report
+
+
+class TestForcedContactClose:
+    """Satellite: link budgets released exactly once on abrupt close."""
+
+    def _tiny_network(self):
+        from repro.mobility.trace import Contact
+        from repro.sim.engine import Simulator
+        from repro.sim.network import BandwidthLimitedLink, ContactNetwork
+        from repro.sim.node import Node
+
+        sim = Simulator()
+        nodes = {0: Node(0), 1: Node(1)}
+        contacts = [Contact(start=10.0, end=110.0, a=0, b=1),
+                    Contact(start=110.0, end=150.0, a=0, b=1)]
+        link = BandwidthLimitedLink(bandwidth_bps=8.0)  # 1 byte/s
+        network = ContactNetwork(sim, nodes, contacts, link_model=link)
+        return sim, nodes, link, network
+
+    def test_forced_close_releases_budget_once(self):
+        sim, nodes, link, network = self._tiny_network()
+        network.start()
+        sim.run(until=50.0)
+        assert link.open_budgets == 1
+        assert network.force_contact_close(0, 1) is True
+        assert link.open_budgets == 0
+        assert not nodes[0].in_contact_with(1)
+        # A second forced close is a no-op (nothing open).
+        assert network.force_contact_close(0, 1) is False
+
+    def test_stale_end_does_not_close_next_contact(self):
+        sim, nodes, link, network = self._tiny_network()
+        network.start()
+        sim.run(until=50.0)
+        network.force_contact_close(0, 1)
+        # The second contact opens at t=110 -- the same timestamp the
+        # first contact's stale end event fires.  The marker must absorb
+        # that stale end, leaving the new contact (and budget) intact.
+        sim.run(until=120.0)
+        assert nodes[0].in_contact_with(1)
+        assert link.open_budgets == 1
+        sim.run(until=200.0)
+        assert not nodes[0].in_contact_with(1)
+        assert link.open_budgets == 0
+        assert not network._forced_closed
+
+    def test_offline_close_tolerates_stale_end(self):
+        sim, nodes, link, network = self._tiny_network()
+        network.start()
+        sim.run(until=50.0)
+        network.set_online(0, False)
+        assert link.open_budgets == 0
+        sim.run(until=200.0)  # stale end at t=110 must not blow up
+        assert link.open_budgets == 0
+
+
+class TestEagerValidation:
+    """Satellite: malformed sweeps fail before any worker spawns."""
+
+    def test_unknown_scheme_rejected(self, settings):
+        from repro.experiments.parallel import build_jobs
+
+        point = SweepPoint(settings=settings, schemes=("hdrr",))
+        with pytest.raises(ValueError, match="unknown scheme"):
+            build_jobs([point])
+
+    def test_bad_settings_rejected(self, settings):
+        from repro.experiments.parallel import build_jobs
+
+        point = SweepPoint(settings=settings.with_(refresh_interval=-1.0),
+                           schemes=("hdr",))
+        with pytest.raises(ValueError, match="refresh_interval"):
+            build_jobs([point])
+
+    def test_empty_schemes_rejected(self, settings):
+        from repro.experiments.parallel import build_jobs
+
+        with pytest.raises(ValueError, match="no schemes"):
+            build_jobs([SweepPoint(settings=settings)])
+
+    def test_settings_validate_lists_every_error(self):
+        with pytest.raises(ValueError) as excinfo:
+            Settings(duration=-1.0, num_items=0, seeds=()).validate()
+        message = str(excinfo.value)
+        assert "duration" in message
+        assert "num_items" in message
+        assert "seeds" in message
+
+    def test_default_settings_validate(self):
+        assert Settings().validate() is not None
+        assert Settings.fast().validate() is not None
+
+
+class TestE15:
+    def test_e15_runs_fast(self, settings):
+        from repro.experiments.e15_fault_tolerance import run
+
+        result = run(settings.with_(seeds=(1,), profile="small"))
+        assert result.exp_id == "E15"
+        data = result.data
+        assert set(data["freshness"]) == {"hdr", "flat", "flooding"}
+        # The harshest corner must not beat the baseline corner.
+        for scheme in data["freshness"]:
+            series = data["freshness"][scheme]
+            assert not math.isnan(series[0])
+            assert series[-1] <= series[0] + 1e-9

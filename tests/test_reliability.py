@@ -1,0 +1,349 @@
+"""Tests for the fault-tolerant runner: retries, timeouts, crashed-worker
+recovery, and sweep checkpoint/resume."""
+
+import json
+import math
+import os
+import shutil
+import time
+
+import pytest
+
+from repro.experiments import Settings
+from repro.experiments.artifacts import cache_clear
+from repro.experiments.checkpoint import (
+    SweepJournal,
+    decode_result,
+    encode_result,
+    sweep_fingerprint,
+)
+from repro.experiments.parallel import SweepPoint, run_sweep, run_tasks
+from repro.experiments.reliability import (
+    ReliabilityContext,
+    RetryPolicy,
+    SweepIncomplete,
+    resilient_execution,
+    run_tasks_resilient,
+)
+from repro.experiments.runner import RunMetrics
+
+DAY = 86400.0
+
+#: fast-converging policy for tests -- no real sleeping
+QUICK = RetryPolicy(max_retries=3, backoff_base=0.01, backoff_factor=1.0)
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return Settings.fast().with_(duration=1 * DAY, seeds=(1, 2))
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    cache_clear()
+    yield
+    cache_clear()
+
+
+# Module-level job functions: specs must reach pool workers by pickle.
+
+def _double(x):
+    return x * 2
+
+
+def _flaky(spec):
+    """Fails until a marker file has been written twice."""
+    marker, value = spec
+    count = 0
+    if os.path.exists(marker):
+        with open(marker) as handle:
+            count = int(handle.read())
+    with open(marker, "w") as handle:
+        handle.write(str(count + 1))
+    if count < 2:
+        raise RuntimeError("transient failure")
+    return value
+
+
+def _perma_fail(spec):
+    if spec == "bad":
+        raise ValueError("permanent failure")
+    return spec
+
+
+def _kill_worker_once(spec):
+    """os._exit the whole worker process on the first marked spec."""
+    marker, value = spec
+    if marker and not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("died")
+        os._exit(17)
+    return value
+
+
+def _hang_once(spec):
+    marker, value = spec
+    if marker and not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("hung")
+        time.sleep(600.0)
+    return value
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize("bad", [
+        {"max_retries": -1},
+        {"job_timeout": 0.0},
+        {"backoff_factor": 0.5},
+        {"backoff_jitter": 2.0},
+        {"on_failure": "shrug"},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            RetryPolicy(**bad)
+
+    def test_backoff_grows_and_is_deterministic(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=2.0,
+                             backoff_jitter=0.25)
+        first = policy.backoff(0, 1)
+        second = policy.backoff(0, 2)
+        assert 1.0 <= first <= 1.25
+        assert 2.0 <= second <= 2.5
+        assert first == policy.backoff(0, 1)  # pure function
+        assert policy.backoff(0, 1) != policy.backoff(1, 1)  # jitter varies
+
+
+class TestRetries:
+    def test_transient_failures_retry_serial(self, tmp_path):
+        specs = [(str(tmp_path / "a"), 10), (str(tmp_path / "b"), 20)]
+        out = run_tasks_resilient(_flaky, specs, jobs=1,
+                                  context=ReliabilityContext(QUICK))
+        assert out == [10, 20]
+
+    def test_transient_failures_retry_pool(self, tmp_path):
+        specs = [(str(tmp_path / "a"), 10), (str(tmp_path / "b"), 20)]
+        out = run_tasks_resilient(_flaky, specs, jobs=2,
+                                  context=ReliabilityContext(QUICK))
+        assert out == [10, 20]
+
+    def test_permanent_failure_raises_sweep_incomplete(self):
+        context = ReliabilityContext(RetryPolicy(max_retries=1,
+                                                 backoff_base=0.0))
+        with pytest.raises(SweepIncomplete) as excinfo:
+            run_tasks_resilient(_perma_fail, ["ok", "bad"], jobs=2,
+                                context=context)
+        assert list(excinfo.value.failures) == [1]
+        assert "permanent failure" in excinfo.value.failures[1]
+
+    def test_partial_mode_degrades_gracefully(self):
+        policy = RetryPolicy(max_retries=0, backoff_base=0.0,
+                             on_failure="partial")
+        out = run_tasks_resilient(_perma_fail, ["ok", "bad", "fine"], jobs=2,
+                                  context=ReliabilityContext(policy))
+        assert out == ["ok", None, "fine"]
+
+
+class TestWorkerCrash:
+    def test_killed_worker_is_requeued_and_sweep_completes(self, tmp_path):
+        marker = str(tmp_path / "killed")
+        specs = [("", 1), ("", 2), (marker, 3), ("", 4)]
+        out = run_tasks_resilient(_kill_worker_once, specs, jobs=2,
+                                  context=ReliabilityContext(QUICK))
+        assert out == [1, 2, 3, 4]
+        assert os.path.exists(marker)  # the worker really died once
+
+    def test_hung_job_times_out_and_retries(self, tmp_path):
+        marker = str(tmp_path / "hung")
+        policy = RetryPolicy(max_retries=2, backoff_base=0.01,
+                             job_timeout=3.0)
+        start = time.monotonic()
+        out = run_tasks_resilient(_hang_once, [("", 1), (marker, 2)], jobs=2,
+                                  context=ReliabilityContext(policy))
+        elapsed = time.monotonic() - start
+        assert out == [1, 2]
+        assert elapsed < 60.0  # never waited out the 600 s sleep
+
+    def test_serial_timeout_warns(self):
+        policy = RetryPolicy(job_timeout=5.0)
+        with pytest.warns(UserWarning, match="process pool"):
+            out = run_tasks_resilient(_double, [3], jobs=1,
+                                      context=ReliabilityContext(policy))
+        assert out == [6]
+
+
+class TestResultCodec:
+    def test_run_metrics_round_trip_exact(self):
+        metrics = RunMetrics(
+            scheme="hdr", seed=3, freshness=1 / 3, validity=0.9999999999,
+            messages=1234.0, messages_per_update=math.pi,
+            on_time_ratio=0.5, refresh_delay=float("nan"),
+        )
+        clone = decode_result(json.loads(json.dumps(encode_result(metrics))))
+        assert isinstance(clone, RunMetrics)
+        assert metrics.same_as(clone)
+
+    def test_tuples_and_nesting_round_trip(self):
+        value = {"a": (1, 2.5, "x"), "b": [None, True, {"c": (0,)}]}
+        clone = decode_result(json.loads(json.dumps(encode_result(value))))
+        assert clone == value
+        assert isinstance(clone["a"], tuple)
+
+    def test_unjournalable_type_raises(self):
+        with pytest.raises(TypeError):
+            encode_result(object())
+
+
+class TestJournal:
+    def test_fingerprint_tracks_specs(self):
+        assert sweep_fingerprint(_double, [1, 2]) == sweep_fingerprint(
+            _double, [1, 2]
+        )
+        assert sweep_fingerprint(_double, [1, 2]) != sweep_fingerprint(
+            _double, [1, 3]
+        )
+        assert sweep_fingerprint(_double, [1, 2]) != sweep_fingerprint(
+            _perma_fail, [1, 2]
+        )
+
+    def test_journal_records_and_resumes(self, tmp_path):
+        journal = SweepJournal(tmp_path / "ckpt")
+        journal.open(_double, [1, 2, 3])
+        journal.record(0, 2)
+        journal.record(2, 6)
+        journal.close()
+
+        resumed = SweepJournal(tmp_path / "ckpt")
+        resumed.open(_double, [1, 2, 3])
+        assert resumed.completed() == {0: 2, 2: 6}
+        resumed.close()
+
+    def test_mismatched_fingerprint_ignored_with_warning(self, tmp_path):
+        journal = SweepJournal(tmp_path / "ckpt")
+        journal.open(_double, [1, 2])
+        journal.record(0, 2)
+        journal.close()
+
+        other = SweepJournal(tmp_path / "ckpt")
+        with pytest.warns(UserWarning, match="different"):
+            other.open(_double, [1, 2, 3])
+        assert other.completed() == {}
+        other.close()
+
+    def test_resume_false_discards_existing(self, tmp_path):
+        journal = SweepJournal(tmp_path / "ckpt")
+        journal.open(_double, [1, 2])
+        journal.record(0, 2)
+        journal.close()
+
+        fresh = SweepJournal(tmp_path / "ckpt", resume=False)
+        fresh.open(_double, [1, 2])
+        assert fresh.completed() == {}
+        fresh.close()
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        journal = SweepJournal(tmp_path / "ckpt")
+        journal.open(_double, [1, 2])
+        journal.record(0, 2)
+        journal.close()
+        with open(journal.journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"job": 1, "resu')  # crash mid-write
+
+        resumed = SweepJournal(tmp_path / "ckpt")
+        resumed.open(_double, [1, 2])
+        assert resumed.completed() == {0: 2}
+        resumed.close()
+
+    def test_manifest_reports_status(self, tmp_path):
+        journal = SweepJournal(tmp_path / "ckpt")
+        journal.open(_double, [1, 2, 3])
+        journal.record(0, 2)
+        path = journal.write_manifest({1: "boom"})
+        journal.close()
+        manifest = json.loads(path.read_text())
+        assert manifest["total"] == 3
+        assert manifest["completed"] == 1
+        assert manifest["failed"] == 1
+        assert manifest["complete"] is False
+        statuses = {entry["job"]: entry["status"] for entry in manifest["jobs"]}
+        assert statuses == {0: "completed", 1: "failed", 2: "pending"}
+
+
+class TestSweepResume:
+    """The acceptance test: an interrupted sweep resumed from its journal
+    merges byte-identically to an uninterrupted run."""
+
+    def _sweep_point(self, settings):
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(loss_rate=0.1, crash_rate_per_day=2.0)
+        return SweepPoint(settings=settings, schemes=("hdr", "flat"),
+                          fault_plan=plan)
+
+    @staticmethod
+    def _assert_identical(a, b):
+        assert set(a) == set(b)
+        for scheme in a:
+            assert len(a[scheme]) == len(b[scheme])
+            for left, right in zip(a[scheme], b[scheme]):
+                assert left.same_as(right)
+
+    def test_resume_after_interruption_is_byte_identical(
+        self, settings, tmp_path
+    ):
+        point = self._sweep_point(settings)
+        baseline = run_sweep([point], jobs=1)[0]
+
+        # A full checkpointed run gives us a complete journal to truncate.
+        complete_dir = tmp_path / "complete"
+        journal = SweepJournal(complete_dir)
+        with resilient_execution(QUICK, journal):
+            checkpointed = run_sweep([point], jobs=2)[0]
+        self._assert_identical(baseline, checkpointed)
+
+        # Simulate a run killed halfway: keep header + first two entries.
+        interrupted_dir = tmp_path / "interrupted"
+        interrupted_dir.mkdir()
+        lines = (complete_dir / "journal.jsonl").read_text().splitlines()
+        assert len(lines) == 1 + 4  # header + 2 seeds x 2 schemes
+        (interrupted_dir / "journal.jsonl").write_text(
+            "\n".join(lines[:3]) + "\n"
+        )
+
+        resumed_journal = SweepJournal(interrupted_dir, resume=True)
+        with resilient_execution(QUICK, resumed_journal):
+            resumed = run_sweep([point], jobs=2)[0]
+        self._assert_identical(baseline, resumed)
+        manifest = json.loads(
+            (interrupted_dir / "manifest.json").read_text()
+        )
+        assert manifest["complete"] is True
+
+    def test_resume_skips_completed_jobs(self, tmp_path):
+        # With every job journaled, the function never runs again --
+        # resuming a finished sweep costs nothing.
+        journal = SweepJournal(tmp_path / "done")
+        journal.open(_perma_fail, ["bad", "also-bad"])
+        journal.record(0, "cached-0")
+        journal.record(1, "cached-1")
+        journal.close()
+
+        resumed = SweepJournal(tmp_path / "done", resume=True)
+        with resilient_execution(RetryPolicy(max_retries=0), resumed):
+            out = run_tasks(_perma_fail, ["bad", "also-bad"], jobs=1)
+        assert out == ["cached-0", "cached-1"]
+
+    def test_run_tasks_routes_through_context(self, tmp_path):
+        specs = [(str(tmp_path / "m"), 7)]
+        with resilient_execution(QUICK):
+            assert run_tasks(_flaky, specs, jobs=1) == [7]
+        # Outside the context the plain executor fails fast.
+        shutil.rmtree(tmp_path)
+        tmp_path.mkdir()
+        with pytest.raises(RuntimeError, match="transient"):
+            run_tasks(_flaky, [(str(tmp_path / "m"), 7)], jobs=1)
+
+    def test_context_is_not_reentrant(self):
+        with resilient_execution(QUICK):
+            with pytest.raises(RuntimeError, match="not reentrant"):
+                with resilient_execution(QUICK):
+                    pass  # pragma: no cover
