@@ -1,0 +1,35 @@
+"""Bench E16: regenerate the model-vs-simulation validation sweep."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments import e16_model_validation
+
+
+def test_e16_model_validation(benchmark, fast_settings):
+    result = run_experiment_once(
+        benchmark, e16_model_validation.run, fast_settings
+    )
+    print("\n" + result.text)
+    data = result.data
+
+    # Every sweep point stays inside the KS-anchored agreement band.
+    assert data["agreeing"] == data["points"]
+    assert all(row["within"] == "yes" for row in data["rows"])
+    assert data["band"] >= 0.05  # floor + scaled KS deviation
+
+    # The direct-only column exercises the closed forms without the
+    # pooled-recruitment relay model: its worst metric error should not
+    # exceed the replicated columns' worst error by more than noise.
+    worst = {}
+    for row in data["rows"]:
+        errs = [row[k] for k in row if k.endswith("|err|")]
+        worst.setdefault(row["relays"], []).append(max(errs))
+    direct = max(worst[0])
+    replicated = max(e for k, errors in worst.items() if k > 0
+                     for e in errors)
+    assert direct <= replicated + 0.05
+
+    # Predictions and measurements are probabilities.
+    for row in data["rows"]:
+        for key, value in row.items():
+            if "(model)" in key or "(sim)" in key:
+                assert 0.0 <= value <= 1.0

@@ -9,6 +9,8 @@ files so results can be re-plotted outside this repository.
 from __future__ import annotations
 
 import csv
+import json
+import math
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Union
 
@@ -59,6 +61,38 @@ def export_rows(path: PathLike, rows: list[dict]) -> Path:
         writer.writeheader()
         for row in rows:
             writer.writerow({key: _scalar(value) for key, value in row.items()})
+    return path
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively reduce a payload to strict-JSON-safe values.
+
+    ``Summary`` collapses to its mean, NumPy scalars/arrays to Python
+    numbers/lists, and non-finite floats to ``None`` (strict JSON has
+    no NaN/Infinity literal, and round-tripping consumers should not
+    need a lenient parser).
+    """
+    from repro.analysis.aggregate import Summary
+
+    if isinstance(value, Summary):
+        value = value.mean
+    if hasattr(value, "tolist"):  # numpy scalar or array
+        value = value.tolist()
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def export_json(path: PathLike, payload: dict) -> Path:
+    """Write a nested payload (e.g. a model prediction) as strict JSON."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(_jsonable(payload), handle, indent=2, allow_nan=False)
+        handle.write("\n")
     return path
 
 

@@ -10,6 +10,7 @@
     repro trace-stats reality         # statistics of a calibrated profile
     repro analyze-trace contacts.txt  # stats/centrality of a real trace file
     repro simulate --scheme hdr ...   # one ad-hoc simulation run
+    repro predict --scheme hdr ...    # closed-form freshness predictions
     repro bench [-o BENCH.json]       # engine/sweep/scheme/trace-gen benchmarks
     repro profile [--scheme hdr]      # cProfile one reference simulation
 """
@@ -236,6 +237,107 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.analysis.export import export_json, export_rows
+    from repro.analysis.tables import format_table
+    from repro.contacts.intercontact import (
+        aggregate_intercontact_samples,
+        fit_exponential,
+        ks_distance,
+    )
+    from repro.core.scheme import SCHEMES, build_simulation, scheme_variant
+    from repro.experiments.config import HOUR, Settings
+    from repro.experiments.runner import choose_sources, make_catalog, make_trace
+    from repro.theory import FreshnessModel, agreement_band, compare
+
+    if args.scheme not in SCHEMES:
+        print(f"unknown scheme {args.scheme!r}; known: {sorted(SCHEMES)}")
+        return 2
+    settings = Settings.fast() if args.fast else Settings()
+    if args.refresh_hours is not None:
+        settings = settings.with_(refresh_interval=args.refresh_hours * HOUR)
+    config = SCHEMES[args.scheme]
+    if args.max_relays is not None:
+        config = scheme_variant(args.scheme, max_relays=args.max_relays)
+    trace = make_trace(settings, args.seed)
+    catalog = make_catalog(settings, choose_sources(trace, settings))
+    runtime = build_simulation(
+        trace,
+        catalog,
+        scheme=config,
+        num_caching_nodes=settings.num_caching_nodes,
+        seed=args.seed,
+        refresh_jitter=settings.refresh_jitter,
+    )
+    try:
+        model = FreshnessModel.from_runtime(
+            runtime, query_rate=settings.query_rate
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    prediction = model.predict()
+
+    samples = aggregate_intercontact_samples(trace, normalise=True,
+                                             min_gaps_per_pair=3)
+    ks = ks_distance(samples, fit_exponential(samples)) if len(samples) else 0.0
+    tolerance = agreement_band(ks)
+
+    measured = None
+    if args.simulate:
+        from repro.analysis.metrics import freshness_summary, refresh_outcomes
+
+        runtime.install_freshness_probe(
+            interval=settings.probe_interval, until=settings.duration
+        )
+        runtime.run(until=settings.duration)
+        fresh = freshness_summary(
+            runtime,
+            t0=settings.warmup_fraction * settings.duration,
+            t1=settings.duration,
+        )
+        refresh = refresh_outcomes(
+            runtime.update_log,
+            runtime.history,
+            catalog,
+            runtime.caching_nodes,
+            horizon=settings.duration,
+            messages=runtime.refresh_overhead(),
+        )
+        measured = {
+            "freshness": fresh.freshness,
+            "validity": fresh.validity,
+            "on_time_ratio": refresh.on_time_ratio,
+        }
+    report = compare(prediction, measured, tolerance=tolerance)
+    title = (f"{args.scheme} on {settings.profile}, "
+             f"R={settings.refresh_interval / HOUR:g}h, seed {args.seed}")
+    print(report.format(title=title))
+    print(f"\ntrace KS deviation from exponential: {ks:.3f} "
+          f"(tolerance = band(KS), see docs/MODEL.md)")
+    print()
+    print(format_table(prediction.level_rows(), precision=3,
+                       title="per-depth delivery probability "
+                       "(fractions of the refresh interval)"))
+    expected = prediction.expected_queries(settings.duration)
+    print(f"\nexpected queries over {settings.duration / 86400.0:g} days: "
+          f"{expected:,.0f} ({prediction.num_requesters} requesters)")
+    if args.json:
+        payload = {"scheme": args.scheme, "profile": settings.profile,
+                   "seed": args.seed, "ks": ks, "tolerance": tolerance,
+                   **prediction.as_dict()}
+        print(f"wrote {export_json(args.json, payload)}")
+    if args.export:
+        print(f"wrote {export_rows(args.export, prediction.as_dict()['nodes'])}")
+    if args.trace:
+        from repro.obs.export import write_jsonl
+
+        count = write_jsonl(report.records(time=runtime.sim.now), args.trace)
+        print(f"wrote {args.trace} ({count} model.predict records; "
+              "inspect with 'repro report')")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench import check_engine_regression, run_benchmarks
 
@@ -271,6 +373,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"null-plan {faults['null_plan_seconds']:.2f}s "
           f"({faults['overhead_pct']:+.1f}%, identical={faults['identical']}), "
           f"faulted {faults['faulted_seconds']:.2f}s")
+    theory = report["theory"]
+    print(f"theory    : predict {theory['predict_seconds']:.2f}s for "
+          f"{theory['nodes_predicted']} node CDFs "
+          f"(run {theory['baseline_seconds']:.2f}s, "
+          f"passive={theory['identical']}), "
+          f"max|err| {theory['max_error']:.3f} vs band "
+          f"{theory['tolerance']:.3f} (agree={theory['agreement']})")
     print(f"wrote {args.output}")
     status = 0
     if args.check_baseline is not None:
@@ -295,6 +404,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not report["faults"]["faulted_differs"]:
         print("FAIL: fault plan injected nothing (faulted run identical "
               "to baseline)")
+        status = 1
+    if not report["theory"]["identical"]:
+        print("FAIL: evaluating the freshness model changed run metrics "
+              "(prediction must be passive)")
+        status = 1
+    if not report["theory"]["agreement"]:
+        print("FAIL: model prediction outside the trace's agreement band")
         status = 1
     return status
 
@@ -397,6 +513,29 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--faults", metavar="PLAN.toml", default=None,
                             help="inject faults from a TOML fault plan")
 
+    predict_parser = sub.add_parser(
+        "predict",
+        help="closed-form freshness predictions for a wired scheme",
+    )
+    predict_parser.add_argument("--scheme", default="hdr")
+    predict_parser.add_argument("--fast", action="store_true",
+                                help="scaled-down settings (small trace)")
+    predict_parser.add_argument("--refresh-hours", type=float, default=None,
+                                help="override the refresh interval")
+    predict_parser.add_argument("--max-relays", type=int, default=None,
+                                help="override the scheme's replication factor")
+    predict_parser.add_argument("--seed", type=int, default=1)
+    predict_parser.add_argument("--simulate", action="store_true",
+                                help="also run the simulation and diff the "
+                                "prediction against the measured metrics")
+    predict_parser.add_argument("--json", metavar="FILE", default=None,
+                                help="export the full prediction as JSON")
+    predict_parser.add_argument("--export", metavar="FILE", default=None,
+                                help="export the per-node predictions as CSV")
+    predict_parser.add_argument("--trace", metavar="FILE", default=None,
+                                help="write model.predict JSONL records "
+                                "(best with --simulate)")
+
     bench_parser = sub.add_parser(
         "bench", help="engine/sweep/scheme/trace-gen benchmarks"
     )
@@ -436,6 +575,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace-stats": _cmd_trace_stats,
         "analyze-trace": _cmd_analyze_trace,
         "simulate": _cmd_simulate,
+        "predict": _cmd_predict,
         "bench": _cmd_bench,
         "profile": _cmd_profile,
     }

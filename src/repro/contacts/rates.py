@@ -30,7 +30,17 @@ def _norm_pair(a: int, b: int) -> tuple[int, int]:
 
 
 class RateTable:
-    """Symmetric mapping of node pairs to contact rates (1/s)."""
+    """Symmetric mapping of node pairs to contact rates (1/s).
+
+    >>> table = RateTable({(1, 2): 0.5})
+    >>> table.rate(2, 1)            # symmetric lookup
+    0.5
+    >>> table.rate(1, 3)            # never observed -> 0
+    0.0
+    >>> table.set(3, 1, 0.25)
+    >>> sorted(table.neighbors(1).items())
+    [(2, 0.5), (3, 0.25)]
+    """
 
     def __init__(self, rates: Optional[Mapping[tuple[int, int], float]] = None) -> None:
         self._rates: dict[tuple[int, int], float] = {}
@@ -94,6 +104,14 @@ def mle_rates(
 
     ``[t0, t1]`` defaults to the trace's own span.  Contacts are counted
     by their start time.
+
+    Two contacts of pair (0, 1) over a 100 s window:
+
+    >>> from repro.mobility.trace import Contact, ContactTrace
+    >>> trace = ContactTrace([Contact.make(0, 1, 10, 20),
+    ...                       Contact.make(0, 1, 60, 70)])
+    >>> mle_rates(trace, t0=0.0, t1=100.0).rate(0, 1)
+    0.02
     """
     start = trace.start_time if t0 is None else t0
     end = trace.end_time if t1 is None else t1
@@ -118,6 +136,14 @@ def ewma_rates(
     (``est = alpha * gap + (1 - alpha) * est``) and the rate is its
     inverse.  Pairs with a single contact fall back to
     ``1 / time-since-that-contact`` measured at ``t1``.
+
+    One 40 s gap (between contact end and next start) gives rate 1/40:
+
+    >>> from repro.mobility.trace import Contact, ContactTrace
+    >>> trace = ContactTrace([Contact.make(0, 1, 10, 20),
+    ...                       Contact.make(0, 1, 60, 70)])
+    >>> ewma_rates(trace, t1=100.0).rate(0, 1)
+    0.025
     """
     if not 0 < alpha <= 1:
         raise ValueError("alpha must be in (0, 1]")

@@ -27,7 +27,13 @@ from typing import Sequence
 
 
 def contact_probability(rate: float, window: float) -> float:
-    """P(next contact within ``window``) for exponential inter-contacts."""
+    """P(next contact within ``window``) for exponential inter-contacts.
+
+    >>> round(contact_probability(0.5, 2.0), 6)   # 1 - e^{-1}
+    0.632121
+    >>> contact_probability(0.0, 10.0)
+    0.0
+    """
     if rate < 0:
         raise ValueError("rate must be non-negative")
     if window < 0:
@@ -44,6 +50,16 @@ def two_hop_probability(rate1: float, rate2: float, window: float) -> float:
         1 - e^{-l T} (1 + l T)                            (l1 == l2)
 
     Zero if either leg has rate 0 (that leg never completes).
+
+    >>> round(two_hop_probability(1.0, 2.0, 1.0), 6)
+    0.399576
+    >>> two_hop_probability(1.0, 0.0, 1.0)
+    0.0
+
+    A relay path is always slower than its slowest leg alone:
+
+    >>> two_hop_probability(1.0, 2.0, 1.0) < contact_probability(1.0, 1.0)
+    True
     """
     if rate1 < 0 or rate2 < 0:
         raise ValueError("rates must be non-negative")
@@ -68,6 +84,12 @@ def decompose_requirement(p_req: float, depth: int) -> float:
     Hops succeed independently, so requiring ``p_req ** (1/depth)`` per
     hop gives ``p_req`` end to end (each hop also gets an equal share of
     the freshness window; see :class:`~repro.core.hierarchy.RefreshTree`).
+
+    >>> p_hop = decompose_requirement(0.9, 3)
+    >>> round(p_hop ** 3, 10)
+    0.9
+    >>> decompose_requirement(0.9, 1)
+    0.9
     """
     if not 0 < p_req < 1:
         raise ValueError("p_req must be in (0, 1)")
@@ -77,7 +99,14 @@ def decompose_requirement(p_req: float, depth: int) -> float:
 
 
 def required_direct_rate(p_req: float, window: float) -> float:
-    """Minimum contact rate for direct delivery to meet ``p_req`` in ``window``."""
+    """Minimum contact rate for direct delivery to meet ``p_req`` in ``window``.
+
+    Inverse of :func:`contact_probability` in the rate argument:
+
+    >>> rate = required_direct_rate(0.95, 3600.0)
+    >>> round(contact_probability(rate, 3600.0), 10)
+    0.95
+    """
     if not 0 < p_req < 1:
         raise ValueError("p_req must be in (0, 1)")
     if window <= 0:
@@ -96,6 +125,16 @@ def expected_fresh_fraction(rate: float, refresh_interval: float) -> float:
         1 - (1 - exp(-rate R)) / (rate R)
 
     Used by the validity analysis and as an oracle in tests.
+
+    >>> round(expected_fresh_fraction(1.0, 2.0), 6)
+    0.567668
+    >>> expected_fresh_fraction(0.0, 2.0)   # never refreshed
+    0.0
+
+    Faster refreshers keep the copy fresh for more of each cycle:
+
+    >>> expected_fresh_fraction(2.0, 2.0) > expected_fresh_fraction(1.0, 2.0)
+    True
     """
     if rate < 0:
         raise ValueError("rate must be non-negative")
@@ -149,6 +188,19 @@ def plan_edge(
     delivery probability until the combined success probability reaches
     ``target`` or ``max_relays`` is hit.  With ``max_relays=0`` the plan
     is direct-only (the SourceOnly baseline's provisioning).
+
+    A weak direct edge (rate 0.1/window) provisioned with two strong
+    relay candidates:
+
+    >>> plan = plan_edge(0, 9, direct_rate=0.1,
+    ...                  relay_candidates=[(1, 2.0, 2.0), (2, 0.5, 0.5)],
+    ...                  window=1.0, target=0.9, max_relays=8)
+    >>> plan.relays          # best candidate first
+    [1, 2]
+    >>> plan.meets_target, round(plan.achieved, 3)   # 0.9 is out of reach
+    (False, 0.666)
+    >>> plan_edge(0, 9, 0.1, [(1, 2.0, 2.0)], 1.0, 0.9, max_relays=0).relays
+    []
     """
     if max_relays < 0:
         raise ValueError("max_relays must be >= 0")

@@ -240,12 +240,14 @@ class SchemeRuntime:
             raise ValueError("interval must be positive")
         gauge_fresh = self.stats.gauge("probe.fresh_slots")
         gauge_valid = self.stats.gauge("probe.valid_slots")
+        gauge_total = self.stats.gauge("probe.total_slots")
 
         def probe() -> None:
             fresh, valid, total = self.freshness_snapshot()
             now = self.sim.now
             gauge_fresh.set(fresh)
             gauge_valid.set(valid)
+            gauge_total.set(total)
             if total:
                 self.stats.series("probe.freshness").record(now, fresh / total)
                 self.stats.series("probe.validity").record(now, valid / total)

@@ -40,12 +40,14 @@ from repro.experiments import (
     e13_invalidation,
     e14_ncl_metric,
     e15_fault_tolerance,
+    e16_model_validation,
 )
 
 #: E1-E8 and E12 reproduce the paper's (reconstructed) tables and
-#: figures; E9-E11 and E13-E15 are extensions exercising maintenance,
-#: estimation, cache pressure, consistency-model, NCL-selection and
-#: fault-tolerance aspects (see DESIGN.md's experiment index).
+#: figures; E9-E11 and E13-E16 are extensions exercising maintenance,
+#: estimation, cache pressure, consistency-model, NCL-selection,
+#: fault-tolerance and model-validation aspects (see DESIGN.md's
+#: experiment index).
 EXPERIMENTS = {
     "E1": e1_traces.run,
     "E2": e2_intercontact.run,
@@ -62,6 +64,7 @@ EXPERIMENTS = {
     "E13": e13_invalidation.run,
     "E14": e14_ncl_metric.run,
     "E15": e15_fault_tolerance.run,
+    "E16": e16_model_validation.run,
 }
 
 __all__ = [

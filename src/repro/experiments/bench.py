@@ -38,6 +38,12 @@ Five measurements back the performance claims in the README:
   instrumented code, so the engine baseline check would catch a
   disabled-path regression.)
 
+* **theory benchmark** -- the reference run scored with and without a
+  full :mod:`repro.theory` prediction evaluated before the clock
+  starts.  Prediction must be passive (``RunMetrics.same_as``), and the
+  prediction must agree with the measured run inside the trace's
+  KS-derived band (see docs/MODEL.md).
+
 ``repro bench`` runs all of them and writes ``BENCH_runner.json``;
 ``repro bench --quick`` shrinks the workloads for CI smoke use.
 """
@@ -489,6 +495,108 @@ def faults_benchmark(quick: bool = False, repeats: int = 2) -> dict:
     }
 
 
+def theory_benchmark(quick: bool = False) -> dict:
+    """Prediction passivity gate plus model-vs-simulation agreement.
+
+    Builds the reference simulation twice from the same trace and seed:
+    one run is scored as-is, the other has the full
+    :class:`~repro.theory.FreshnessModel` prediction evaluated *before*
+    the clock starts.  The two :class:`RunMetrics` must be
+    ``same_as``-identical -- the model reads only static wiring (rates,
+    trees, plans, catalog) and consumes no randomness, so predicting
+    cannot perturb the run.  The timing isolates the cost of
+    ``predict()``; the agreement block diffs the prediction against the
+    measured metrics inside the trace's KS-derived band
+    (:func:`~repro.theory.agreement_band`).
+    """
+    from repro.analysis.metrics import freshness_summary, refresh_outcomes
+    from repro.contacts.intercontact import (
+        aggregate_intercontact_samples,
+        fit_exponential,
+        ks_distance,
+    )
+    from repro.core.scheme import build_simulation
+    from repro.experiments.runner import (
+        RunMetrics,
+        choose_sources,
+        make_catalog,
+        make_trace,
+    )
+    from repro.theory import FreshnessModel, agreement_band, compare
+
+    settings = reference_settings(quick).with_(seeds=(1,))
+    seed = settings.seeds[0]
+    trace = make_trace(settings, seed)
+    catalog = make_catalog(settings, choose_sources(trace, settings))
+    horizon = settings.duration
+
+    def score(with_prediction: bool):
+        runtime = build_simulation(
+            trace,
+            catalog,
+            scheme="hdr",
+            num_caching_nodes=settings.num_caching_nodes,
+            seed=seed,
+            refresh_jitter=settings.refresh_jitter,
+        )
+        prediction = None
+        predict_seconds = 0.0
+        if with_prediction:
+            start = time.perf_counter()
+            prediction = FreshnessModel.from_runtime(runtime).predict()
+            predict_seconds = time.perf_counter() - start
+        runtime.install_freshness_probe(
+            interval=settings.probe_interval, until=horizon
+        )
+        start = time.perf_counter()
+        runtime.run(until=horizon)
+        run_seconds = time.perf_counter() - start
+        fresh = freshness_summary(runtime, t0=settings.warmup_fraction * horizon,
+                                  t1=horizon)
+        refresh = refresh_outcomes(
+            runtime.update_log,
+            runtime.history,
+            catalog,
+            runtime.caching_nodes,
+            horizon=horizon,
+            messages=runtime.refresh_overhead(),
+        )
+        metrics = RunMetrics(
+            scheme=runtime.config.name,
+            seed=seed,
+            freshness=fresh.freshness,
+            validity=fresh.validity,
+            messages=refresh.messages,
+            messages_per_update=refresh.messages_per_update,
+            on_time_ratio=refresh.on_time_ratio,
+            refresh_delay=refresh.mean_delay,
+        )
+        return metrics, prediction, predict_seconds, run_seconds
+
+    baseline, _, _, baseline_seconds = score(with_prediction=False)
+    predicted, prediction, predict_seconds, predicted_seconds = score(
+        with_prediction=True
+    )
+    samples = aggregate_intercontact_samples(trace, normalise=True,
+                                             min_gaps_per_pair=3)
+    ks = ks_distance(samples, fit_exponential(samples)) if len(samples) else 0.0
+    tolerance = agreement_band(ks)
+    report = compare(prediction, predicted, tolerance=tolerance)
+    return {
+        "scheme": "hdr",
+        "seed": seed,
+        "nodes_predicted": len(prediction.nodes),
+        "predict_seconds": round(predict_seconds, 3),
+        "baseline_seconds": round(baseline_seconds, 3),
+        "predicted_run_seconds": round(predicted_seconds, 3),
+        "identical": baseline.same_as(predicted),
+        "ks": round(ks, 4),
+        "tolerance": round(tolerance, 4),
+        "max_error": round(report.max_error, 4),
+        "agreement": report.agreement,
+    }
+
+
 def check_engine_regression(
     report: dict, baseline_path: str, threshold: float = 0.30
 ) -> tuple[bool, str]:
@@ -532,6 +640,7 @@ def run_benchmarks(jobs: Optional[int] = None,
         "trace_gen": trace_gen_benchmark(quick=quick),
         "obs": obs_benchmark(quick=quick),
         "faults": faults_benchmark(quick=quick),
+        "theory": theory_benchmark(quick=quick),
     }
     if path is not None:
         with open(path, "w", encoding="utf-8") as handle:

@@ -37,6 +37,7 @@ kind                emitted when
 ``fault.recover``   a crashed node comes back
 ``fault.flap``      a link flap cuts a contact short
 ``fault.outage``    a data source stalls/resumes version generation
+``model.predict``   one predicted-vs-measured metric row (theory layer)
 ================== ====================================================
 
 The ``fault.*`` family is emitted only by
@@ -415,6 +416,27 @@ class FaultOutage(TraceRecord):
         self.duration = duration
 
 
+class ModelPredictRecord(TraceRecord):
+    """One metric of a :class:`~repro.theory.validate.ModelReport`.
+
+    Emitted by the theory layer (never by the simulation itself --
+    prediction is passive), so a trace can carry its own
+    predicted-vs-measured table into ``repro report``.  ``measured``
+    and ``error`` are NaN for prediction-only reports.
+    """
+
+    kind = "model.predict"
+    __slots__ = ("metric", "predicted", "measured", "error")
+
+    def __init__(self, time: float, metric: str, predicted: float,
+                 measured: float, error: float) -> None:
+        super().__init__(time)
+        self.metric = metric
+        self.predicted = predicted
+        self.measured = measured
+        self.error = error
+
+
 #: wire name -> record class, for JSONL reconstruction
 RECORD_TYPES: dict[str, Type[TraceRecord]] = {
     cls.kind: cls
@@ -426,6 +448,7 @@ RECORD_TYPES: dict[str, Type[TraceRecord]] = {
         QueryIssue, QueryHit, QueryMiss, QueryComplete,
         FaultMessageLoss, FaultTruncation, FaultCrash, FaultRecover,
         FaultLinkFlap, FaultOutage,
+        ModelPredictRecord,
     )
 }
 

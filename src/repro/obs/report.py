@@ -89,6 +89,22 @@ def format_trace_report(records: Sequence[TraceRecord],
     if fault_rows:
         lines += ["", format_table(fault_rows, title="injected faults")]
 
+    model_rows = [
+        {
+            "metric": record.metric,
+            "predicted": record.predicted,
+            "measured": record.measured,
+            "|error|": record.error,
+        }
+        for record in records
+        if record.kind == "model.predict"
+    ]
+    if model_rows:
+        lines += ["", format_table(
+            model_rows, title="model predictions vs measured",
+            columns=["metric", "predicted", "measured", "|error|"],
+        )]
+
     queries = summary["queries"]
     if queries["issued"]:
         lines += ["", format_table(

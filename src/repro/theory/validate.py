@@ -1,0 +1,201 @@
+"""Model-vs-simulation validation: diff predictions against measurements.
+
+:func:`compare` lines a :class:`~repro.theory.model.ModelPrediction` up
+against measured values -- a :class:`~repro.experiments.runner.RunMetrics`,
+a plain ``metric -> value`` mapping, or a
+:class:`~repro.obs.registry.MetricsRegistry` snapshot dict -- and
+produces a :class:`ModelReport`: one row per metric with the absolute
+error and whether it falls inside the agreement tolerance.
+
+The tolerance is not arbitrary: the model is exact *under the
+pairwise-Poisson assumption*, so its error budget is how far the trace's
+inter-contact times deviate from exponential.  E2 measures that
+deviation as a Kolmogorov-Smirnov distance (0.043 on the
+Reality-calibrated profile, 0.079 on Infocom06);
+:func:`agreement_band` turns a KS distance into the documented
+tolerance used by E16 and the benchmarks.
+
+>>> from repro.theory.validate import ModelRow, ModelReport
+>>> report = ModelReport(
+...     rows=[ModelRow("freshness", 0.90, 0.87, 0.03, True)], tolerance=0.1)
+>>> report.agreement
+True
+>>> round(report.max_error, 2)
+0.03
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.theory.model import ModelPrediction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.records import TraceRecord
+
+#: the RunMetrics fields the model predicts, in report order
+DEFAULT_METRICS = ("freshness", "validity", "on_time_ratio")
+
+#: query-plane metrics appended when the measured run had queries
+QUERY_METRICS = ("query_fresh_ratio", "query_valid_ratio")
+
+#: tolerance floor: discretisation, warm-up truncation and finite-run
+#: noise that persist even on a perfectly exponential trace
+BAND_FLOOR = 0.05
+
+#: how many tolerance units one unit of KS distance buys.  The KS
+#: distance bounds the per-edge CDF error; hops compound roughly
+#: linearly along a depth<=3 path, hence a small integer multiplier.
+BAND_SCALE = 2.0
+
+
+def agreement_band(ks_distance: float, floor: float = BAND_FLOOR,
+                   scale: float = BAND_SCALE) -> float:
+    """Tolerance for model-vs-simulation agreement on a given trace.
+
+    ``floor + scale * ks_distance``: the further the trace's
+    inter-contact law is from exponential (E2's KS statistic), the more
+    slack the exponential model is allowed.
+
+    >>> agreement_band(0.0)
+    0.05
+    >>> agreement_band(0.043)  # Reality-calibrated profile (E2)
+    0.136
+    """
+    if ks_distance < 0:
+        raise ValueError("ks_distance must be non-negative")
+    return floor + scale * ks_distance
+
+
+@dataclass(frozen=True)
+class ModelRow:
+    """One metric's predicted-vs-measured comparison."""
+
+    metric: str
+    predicted: float
+    measured: float
+    error: float  #: ``|predicted - measured|``; NaN when unmeasured
+    within: bool  #: error inside tolerance (vacuously true when unmeasured)
+
+
+@dataclass(frozen=True)
+class ModelReport:
+    """Predicted-vs-measured diff for one run."""
+
+    rows: list[ModelRow]
+    tolerance: float
+
+    @property
+    def agreement(self) -> bool:
+        """True when every measured metric is inside the tolerance."""
+        return all(row.within for row in self.rows)
+
+    @property
+    def max_error(self) -> float:
+        """Largest absolute error over the measured metrics (NaN if none)."""
+        errors = [row.error for row in self.rows if not math.isnan(row.error)]
+        return max(errors) if errors else math.nan
+
+    def format(self, title: str = "model vs simulation") -> str:
+        """Human-readable table, same style as the experiment output."""
+        rows = [
+            {
+                "metric": row.metric,
+                "predicted": row.predicted,
+                "measured": row.measured,
+                "|error|": row.error,
+                "within": "yes" if row.within else "NO",
+            }
+            for row in self.rows
+        ]
+        table = format_table(
+            rows,
+            columns=["metric", "predicted", "measured", "|error|", "within"],
+            title=f"{title} (tolerance {self.tolerance:.3f})",
+        )
+        return table
+
+    def records(self, time: float = 0.0) -> "list[TraceRecord]":
+        """One ``model.predict`` obs record per row, for trace export."""
+        from repro.obs.records import ModelPredictRecord
+
+        return [
+            ModelPredictRecord(
+                time=time,
+                metric=row.metric,
+                predicted=row.predicted,
+                measured=row.measured,
+                error=row.error,
+            )
+            for row in self.rows
+        ]
+
+
+def measured_values(measured) -> dict[str, float]:
+    """Normalise a measurement source into a ``metric -> value`` dict.
+
+    Accepts a :class:`~repro.experiments.runner.RunMetrics` (field
+    access), a :class:`~repro.obs.registry.MetricsRegistry` snapshot
+    (the ``{"counters": ..., "gauges": ...}`` shape -- probe gauges are
+    translated when present), or any plain mapping.
+    """
+    if isinstance(measured, Mapping):
+        if "gauges" in measured and "counters" in measured:
+            out: dict[str, float] = {}
+            gauges = measured.get("gauges", {})
+            fresh = gauges.get("probe.fresh_slots")
+            valid = gauges.get("probe.valid_slots")
+            total = gauges.get("probe.total_slots")
+            if total:
+                if fresh is not None:
+                    out["freshness"] = fresh / total
+                if valid is not None:
+                    out["validity"] = valid / total
+            return out
+        return {str(k): float(v) for k, v in measured.items()}
+    out = {}
+    for name in DEFAULT_METRICS + QUERY_METRICS:
+        value = getattr(measured, name, None)
+        if value is not None:
+            out[name] = float(value)
+    return out
+
+
+def compare(
+    prediction: ModelPrediction,
+    measured=None,
+    tolerance: float = 0.1,
+    metrics: Optional[Sequence[str]] = None,
+) -> ModelReport:
+    """Diff a prediction against measurements (or none, for pure predict).
+
+    ``metrics`` defaults to :data:`DEFAULT_METRICS` plus the query
+    ratios when the measurement carries finite values for them.  Rows
+    whose measurement is missing/NaN get ``error = NaN`` and count as
+    within tolerance (there is nothing to disagree with).
+    """
+    predicted = prediction.summary()
+    observed = measured_values(measured) if measured is not None else {}
+    if metrics is None:
+        names = list(DEFAULT_METRICS)
+        names += [
+            name for name in QUERY_METRICS
+            if not math.isnan(observed.get(name, math.nan))
+        ]
+    else:
+        names = list(metrics)
+    rows = []
+    for name in names:
+        if name not in predicted:
+            raise KeyError(f"model does not predict metric {name!r}")
+        p = predicted[name]
+        m = observed.get(name, math.nan)
+        error = abs(p - m) if not math.isnan(m) else math.nan
+        within = math.isnan(error) or error <= tolerance
+        rows.append(ModelRow(
+            metric=name, predicted=p, measured=m, error=error, within=within,
+        ))
+    return ModelReport(rows=rows, tolerance=tolerance)

@@ -1,0 +1,48 @@
+"""Markdown link checker for README and docs/.
+
+Every relative link target must exist in the repository; external
+(``http``/``https``/``mailto``) links and intra-page anchors are
+skipped.  Fenced code blocks are stripped first so shell snippets like
+``[0, 5]`` never register as links.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CHECKED = sorted(
+    [REPO_ROOT / "README.md"] + list((REPO_ROOT / "docs").glob("*.md")),
+    key=lambda p: p.name,
+)
+
+LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+INLINE_CODE = re.compile(r"`[^`]*`")
+
+
+def links_of(path):
+    text = INLINE_CODE.sub("", FENCE.sub("", path.read_text(encoding="utf-8")))
+    return LINK.findall(text)
+
+
+@pytest.mark.parametrize("path", CHECKED, ids=lambda p: p.name)
+def test_relative_links_resolve(path):
+    broken = []
+    for target in links_of(path):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{path.name}: broken relative links {broken}"
+
+
+def test_readme_and_docs_are_checked():
+    names = {p.name for p in CHECKED}
+    assert "README.md" in names
+    for doc in ("MODEL.md", "ARCHITECTURE.md", "PERFORMANCE.md",
+                "OBSERVABILITY.md", "ROBUSTNESS.md", "PROTOCOL.md"):
+        assert doc in names, f"docs/{doc} missing from the link sweep"

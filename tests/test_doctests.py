@@ -1,0 +1,29 @@
+"""Run the docstring examples of the analytical layers as tests.
+
+CI also runs ``pytest --doctest-modules`` over these modules directly;
+this wrapper keeps the examples honest under the plain tier-1 invocation
+(``pytest -q``) so a drive-by docstring edit cannot silently rot.
+"""
+
+import doctest
+
+import pytest
+
+import repro.contacts.rates
+import repro.core.replication
+import repro.theory.model
+import repro.theory.validate
+
+MODULES = [
+    repro.core.replication,
+    repro.contacts.rates,
+    repro.theory.model,
+    repro.theory.validate,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_docstring_examples(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0

@@ -87,7 +87,7 @@ class TestRunnerHelpers:
 
 class TestExperimentRegistry:
     def test_all_registered(self):
-        assert set(EXPERIMENTS) == {f"E{k}" for k in range(1, 16)}
+        assert set(EXPERIMENTS) == {f"E{k}" for k in range(1, 17)}
 
     @pytest.mark.parametrize("exp_id", ["E1", "E2"])
     def test_analysis_experiments_run(self, exp_id, settings):
