@@ -29,6 +29,8 @@ from typing import Callable, Optional
 
 from repro.caching.items import DataCatalog
 from repro.caching.store import CacheStore
+from repro.obs.records import QueryComplete, QueryHit, QueryIssue, QueryMiss
+
 from repro.routing.base import RoutingAgent
 from repro.sim.messages import Message
 from repro.sim.node import Node, ProtocolHandler
@@ -132,8 +134,6 @@ class QueryManager(ProtocolHandler):
         self._records_by_id[record.query_id] = record
         self.stats.counter("query.issued").add(1)
         if self.trace is not None:
-            from repro.obs.records import QueryIssue
-
             self.trace.emit(
                 QueryIssue(now, self.node.node_id, record.query_id, item_id)
             )
@@ -143,8 +143,6 @@ class QueryManager(ProtocolHandler):
         if answer is not None:
             version, version_time = answer
             if self.trace is not None:
-                from repro.obs.records import QueryHit
-
                 self.trace.emit(
                     QueryHit(now, self.node.node_id, record.query_id,
                              item_id, answer[0], True)
@@ -208,8 +206,6 @@ class QueryManager(ProtocolHandler):
         if answer is not None:
             self._answered.add(query_id)
             if self.trace is not None:
-                from repro.obs.records import QueryHit
-
                 self.trace.emit(
                     QueryHit(now, self.node.node_id, query_id, item_id,
                              answer[0], False)
@@ -218,8 +214,6 @@ class QueryManager(ProtocolHandler):
             return
         # Cannot answer: keep carrying the query.
         if self.trace is not None:
-            from repro.obs.records import QueryMiss
-
             self.trace.emit(
                 QueryMiss(now, self.node.node_id, query_id, item_id)
             )
@@ -294,8 +288,6 @@ class QueryManager(ProtocolHandler):
         self.stats.counter("query.completed").add(1)
         self.stats.tally("query.delay").observe(now - record.issued_at)
         if self.trace is not None:
-            from repro.obs.records import QueryComplete
-
             self.trace.emit(
                 QueryComplete(now, record.requester, record.query_id,
                               record.item_id, served_by,

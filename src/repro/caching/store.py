@@ -19,6 +19,9 @@ from typing import Callable, Optional
 
 from repro.caching.items import CacheEntry, DataItem
 
+from repro.obs.records import CacheEvict, CacheExpire, CachePut, CacheRemove
+
+
 #: Signature of a store change listener: ``(item_id, old, new, now)``.
 #: ``old``/``new`` are ``None`` for inserts/removals respectively; ``now``
 #: is NaN for removals that carry no timestamp (:meth:`CacheStore.remove`).
@@ -100,8 +103,6 @@ class CacheStore:
             if self.change_listener is not None:
                 self.change_listener(entry.item_id, current, entry, now)
             if self.trace is not None:
-                from repro.obs.records import CachePut
-
                 self.trace.emit(
                     CachePut(now, self.trace_node, entry.item_id,
                              entry.version, True)
@@ -113,8 +114,6 @@ class CacheStore:
         if self.change_listener is not None:
             self.change_listener(entry.item_id, None, entry, now)
         if self.trace is not None:
-            from repro.obs.records import CachePut
-
             self.trace.emit(
                 CachePut(now, self.trace_node, entry.item_id,
                          entry.version, False)
@@ -126,8 +125,6 @@ class CacheStore:
         if old is not None and self.change_listener is not None:
             self.change_listener(item_id, old, None, math.nan)
         if old is not None and self.trace is not None:
-            from repro.obs.records import CacheRemove
-
             self.trace.emit(
                 CacheRemove(math.nan, self.trace_node, item_id, old.version)
             )
@@ -147,8 +144,6 @@ class CacheStore:
             if self.change_listener is not None:
                 self.change_listener(item_id, old, None, now)
             if self.trace is not None:
-                from repro.obs.records import CacheRemove
-
                 self.trace.emit(
                     CacheRemove(now, self.trace_node, item_id, old.version)
                 )
@@ -166,8 +161,6 @@ class CacheStore:
             if self.change_listener is not None:
                 self.change_listener(item_id, old, None, now)
             if self.trace is not None:
-                from repro.obs.records import CacheExpire
-
                 self.trace.emit(
                     CacheExpire(now, self.trace_node, item_id, old.version)
                 )
@@ -191,8 +184,6 @@ class CacheStore:
         if self.change_listener is not None:
             self.change_listener(victim.item_id, victim, None, now)
         if self.trace is not None:
-            from repro.obs.records import CacheEvict
-
             self.trace.emit(
                 CacheEvict(now, self.trace_node, victim.item_id, victim.version)
             )

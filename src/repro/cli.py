@@ -220,18 +220,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if fault_plan is None:
             return 2
     trace = make_trace(settings, args.seed)
-    metrics = run_once(trace, args.scheme, settings, seed=args.seed,
-                       with_queries=True, trace_path=args.trace,
-                       fault_plan=fault_plan)
+    with_queries = args.backend == "object"
+    try:
+        metrics = run_once(trace, args.scheme, settings, seed=args.seed,
+                           with_queries=with_queries, trace_path=args.trace,
+                           fault_plan=fault_plan, backend=args.backend)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(f"backend           : {args.backend}")
     print(f"scheme            : {metrics.scheme}")
     print(f"freshness         : {metrics.freshness:.4f}")
     print(f"validity          : {metrics.validity:.4f}")
     print(f"on-time refreshes : {metrics.on_time_ratio:.4f}")
     print(f"refresh messages  : {metrics.messages:.0f}")
     print(f"msgs per update   : {metrics.messages_per_update:.2f}")
-    print(f"queries issued    : {metrics.queries_issued}")
-    print(f"query answered    : {metrics.query_answer_ratio:.4f}")
-    print(f"query fresh ratio : {metrics.query_fresh_ratio:.4f}")
+    if with_queries:
+        print(f"queries issued    : {metrics.queries_issued}")
+        print(f"query answered    : {metrics.query_answer_ratio:.4f}")
+        print(f"query fresh ratio : {metrics.query_fresh_ratio:.4f}")
     if args.trace:
         print(f"trace written to  : {args.trace}")
     return 0
@@ -339,7 +346,11 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.experiments.bench import check_engine_regression, run_benchmarks
+    from repro.experiments.bench import (
+        check_engine_regression,
+        check_scale_regression,
+        run_benchmarks,
+    )
 
     if _resolve_jobs_or_complain(args.jobs) is None:
         return 2
@@ -350,7 +361,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"{engine['improvement_pct']:+.1f}%)")
     sweep = report["sweep"]
     if "skipped" in sweep:
-        print(f"sweep     : skipped ({sweep['skipped']})")
+        print(f"sweep     : skipped ({sweep['skipped']}, "
+              f"{sweep.get('cpus', '?')} usable cpu(s))")
+        if sweep.get("note"):
+            print(f"            {sweep['note']}")
     else:
         print(f"sweep     : serial {sweep['serial_seconds']:.2f}s, "
               f"jobs={sweep['jobs']} {sweep['parallel_seconds']:.2f}s "
@@ -359,6 +373,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"scheme    : optimised {scheme['optimised_seconds']:.2f}s, "
           f"legacy {scheme['legacy_seconds']:.2f}s "
           f"({scheme['speedup']:.2f}x, identical={scheme['identical']})")
+    soa = report["soa"]
+    print(f"soa       : object {soa['object_seconds']:.2f}s, "
+          f"soa {soa['soa_seconds']:.2f}s over {soa['runs']} runs "
+          f"({soa['speedup']:.2f}x, identical={soa['identical']})")
+    for point in report["scale"]["points"]:
+        if "error" in point:
+            print(f"scale     : {point['backend']}@{point['nodes']}: "
+                  f"ERROR {point['error']}")
+            continue
+        print(f"scale     : {point['backend']:6s} {point['nodes']:>7,} nodes: "
+              f"{point['events_per_sec']:>13,.0f} events/s, "
+              f"peak RSS {point['peak_rss_mb']:.0f} MB "
+              f"(run {point['run_s']:.3f}s, build {point['build_s']:.2f}s)")
+    scale = report["scale"]
+    print(f"            soa/object at 1k nodes: {scale['soa_speedup_1k']}x "
+          f"(floor {scale['speedup_floor']}x), "
+          f"RSS ceiling {scale['rss_ceiling_mb']:.0f} MB")
     for name, row in report["trace_gen"]["profiles"].items():
         print(f"trace_gen : {name}: vectorised {row['vectorised_seconds']:.2f}s, "
               f"scalar {row['scalar_seconds']:.2f}s "
@@ -387,8 +418,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(("ok  : " if ok else "FAIL: ") + message)
         if not ok:
             status = 1
+        ok, message = check_scale_regression(report, args.check_baseline)
+        print(("ok  : " if ok else "FAIL: ") + message)
+        if not ok:
+            status = 1
     if not report["scheme"]["identical"]:
         print("FAIL: scheme benchmark diverged from the legacy paths")
+        status = 1
+    if not report["soa"]["identical"]:
+        print("FAIL: soa backend diverged from the object backend")
         status = 1
     if any(not row["identical"]
            for row in report["trace_gen"]["profiles"].values()):
@@ -512,6 +550,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write the run's JSONL event trace to FILE")
     sim_parser.add_argument("--faults", metavar="PLAN.toml", default=None,
                             help="inject faults from a TOML fault plan")
+    sim_parser.add_argument("--backend", choices=("object", "soa"),
+                            default="object",
+                            help="simulation engine: per-node object graph "
+                            "(full-featured) or vectorised struct-of-arrays "
+                            "(metric-identical, faster, no queries/tracing)")
 
     predict_parser = sub.add_parser(
         "predict",

@@ -37,6 +37,8 @@ import numpy as np
 from repro.caching.items import CacheEntry, DataCatalog, DataItem, VersionHistory
 from repro.caching.store import CacheStore
 from repro.core import accounting
+from repro.obs.records import TaskCreate, TaskDrop
+
 from repro.sim.messages import Message
 from repro.sim.node import Node, ProtocolHandler
 from repro.sim.stats import StatsRegistry
@@ -312,8 +314,6 @@ class HdrRefreshHandler(ProtocolHandler):
         else:
             self._recruitable.discard(key)
         if self.trace is not None:
-            from repro.obs.records import TaskCreate
-
             self.trace.emit(
                 TaskCreate(self.node.sim.now, self.node.node_id, item_id,
                            target, version, may_recruit)
@@ -329,8 +329,6 @@ class HdrRefreshHandler(ProtocolHandler):
                 del self._by_target[key[1]]
         self._recruitable.discard(key)
         if self.trace is not None:
-            from repro.obs.records import TaskDrop
-
             self.trace.emit(
                 TaskDrop(self.node.sim.now, self.node.node_id, key[0],
                          key[1], task.version, reason)

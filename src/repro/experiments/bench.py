@@ -26,6 +26,16 @@ Five measurements back the performance claims in the README:
   metric-identical results (``identical`` in the report); the speedup
   is the end-to-end serial gain of the incremental paths.
 
+* **soa benchmark** -- the reference sweep run through the vectorised
+  struct-of-arrays backend (``backend="soa"``) and the object graph;
+  every (scheme, seed) pair must be ``RunMetrics.same_as``-identical
+  (hard gate) and the timing gives the small-scale speedup.
+
+* **scale benchmark** -- events/sec and peak RSS vs node count (1k to
+  100k nodes), one fresh subprocess per point so RSS is attributable.
+  Gated on the SoA backend being >= 5x the object backend at 1k nodes
+  and on a peak-RSS ceiling.
+
 * **trace-gen benchmark** -- synthetic trace generation per calibration
   profile, vectorised vs scalar assembly, with a bit-identity assertion
   (both paths consume the RNG substream identically).
@@ -231,7 +241,15 @@ def sweep_benchmark(jobs: Optional[int] = None) -> dict:
     """
     cpus = available_cpus()
     if cpus < 2:
-        return {"skipped": "1 cpu", "cpus": cpus}
+        return {
+            "skipped": "1 cpu",
+            "cpus": cpus,
+            "note": (
+                "process-pool comparison needs >= 2 usable CPUs "
+                f"(affinity reports {cpus}); a pool on one CPU can only "
+                "add overhead, so serial == parallel by construction"
+            ),
+        }
     workers = resolve_jobs(jobs) if jobs is not None else 4
     if workers <= 1:
         workers = 4
@@ -597,6 +615,176 @@ def theory_benchmark(quick: bool = False) -> dict:
     }
 
 
+def soa_benchmark(quick: bool = False) -> dict:
+    """SoA backend vs object backend on the reference sweep: identity + time.
+
+    Runs every (scheme, seed) of the reference sweep through both
+    backends and compares the :class:`RunMetrics` field-for-field
+    (``RunMetrics.same_as``).  ``identical`` is a hard gate -- the SoA
+    engine's entire value rests on being a faster route to the *same*
+    numbers, exactly like the ``INCREMENTAL_BOOKKEEPING`` gate in the
+    scheme benchmark.  The timings give the end-to-end speedup at
+    reference (small) scale; the ``scale`` section measures where the
+    vectorised path actually pulls away.
+    """
+    from repro.experiments.runner import make_trace, run_once
+
+    settings = reference_settings(quick)
+    object_s = soa_s = 0.0
+    identical = True
+    runs = 0
+    for seed in settings.seeds:
+        trace = make_trace(settings, seed)
+        for scheme in SWEEP_SCHEMES:
+            start = time.perf_counter()
+            obj = run_once(trace, scheme, settings, seed=seed)
+            object_s += time.perf_counter() - start
+            start = time.perf_counter()
+            soa = run_once(trace, scheme, settings, seed=seed, backend="soa")
+            soa_s += time.perf_counter() - start
+            identical = identical and obj.same_as(soa)
+            runs += 1
+    return {
+        "seeds": len(settings.seeds),
+        "schemes": list(SWEEP_SCHEMES),
+        "runs": runs,
+        "object_seconds": round(object_s, 3),
+        "soa_seconds": round(soa_s, 3),
+        "speedup": round(object_s / soa_s, 3) if soa_s > 0 else float("inf"),
+        "identical": identical,
+    }
+
+
+#: Peak-RSS ceiling for any single scale point (MB).  The 100k-node SoA
+#: run peaks well under this; blowing through it means per-node memory
+#: regressed to object-graph territory.
+SCALE_RSS_CEILING_MB = 2048.0
+
+#: Minimum SoA-over-object events/sec ratio at the 1k-node point.
+SCALE_MIN_SOA_SPEEDUP = 5.0
+
+
+def _scale_points(quick: bool) -> list[tuple[str, int]]:
+    points = [("object", 1000), ("soa", 1000), ("soa", 10_000)]
+    if not quick:
+        points += [("soa", 30_000), ("soa", 100_000)]
+    return points
+
+
+def scale_benchmark(quick: bool = False) -> dict:
+    """Events/sec and peak RSS vs node count, per backend.
+
+    Each point runs :mod:`repro.experiments.scale` in a fresh
+    subprocess, because peak RSS (``getrusage``) is a process-lifetime
+    high-water mark.  The quick points are a subset of the full ones, so
+    baseline comparisons match on ``(backend, nodes)`` keys either way.
+    """
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        src_dir + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src_dir
+    )
+    points = []
+    for backend, nodes in _scale_points(quick):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.scale",
+             "--nodes", str(nodes), "--backend", backend, "--json"],
+            capture_output=True, text=True, env=env,
+        )
+        if proc.returncode != 0:
+            points.append({
+                "nodes": nodes, "backend": backend,
+                "error": (proc.stderr or "subprocess failed").strip()[-500:],
+            })
+            continue
+        points.append(json.loads(proc.stdout))
+
+    def _eps(backend: str, nodes: int) -> Optional[float]:
+        for point in points:
+            if (point.get("backend"), point.get("nodes")) == (backend, nodes):
+                return point.get("events_per_sec")
+        return None
+
+    obj_1k, soa_1k = _eps("object", 1000), _eps("soa", 1000)
+    speedup_1k = (
+        round(soa_1k / obj_1k, 2) if obj_1k and soa_1k else None
+    )
+    rss_values = [p["peak_rss_mb"] for p in points if "peak_rss_mb" in p]
+    return {
+        "points": points,
+        "soa_speedup_1k": speedup_1k,
+        "speedup_floor": SCALE_MIN_SOA_SPEEDUP,
+        "speedup_ok": (
+            speedup_1k is not None and speedup_1k >= SCALE_MIN_SOA_SPEEDUP
+        ),
+        "rss_ceiling_mb": SCALE_RSS_CEILING_MB,
+        "rss_ok": bool(rss_values)
+        and max(rss_values) <= SCALE_RSS_CEILING_MB,
+    }
+
+
+def check_scale_regression(
+    report: dict, baseline_path: str, threshold: float = 0.30
+) -> tuple[bool, str]:
+    """Gate the scale section against a committed baseline.
+
+    Fails when any ``(backend, nodes)`` point's events/sec dropped more
+    than ``threshold`` below the baseline's matching point, when a point
+    exceeds the peak-RSS ceiling, or when the 1k-node SoA speedup fell
+    under its floor.  Points absent from the baseline pass (new points
+    regress against nothing).
+    """
+    scale = report.get("scale", {})
+    problems = []
+    if not scale.get("speedup_ok"):
+        problems.append(
+            f"soa speedup at 1k nodes {scale.get('soa_speedup_1k')}x "
+            f"under floor {scale.get('speedup_floor')}x"
+        )
+    if not scale.get("rss_ok"):
+        problems.append(
+            f"a scale point exceeded the {scale.get('rss_ceiling_mb')} MB "
+            "peak-RSS ceiling"
+        )
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        baseline = {}
+    base_points = {
+        (p.get("backend"), p.get("nodes")): p.get("events_per_sec")
+        for p in baseline.get("scale", {}).get("points", [])
+    }
+    checked = 0
+    for point in scale.get("points", []):
+        key = (point.get("backend"), point.get("nodes"))
+        base = base_points.get(key)
+        current = point.get("events_per_sec")
+        if not base or not current:
+            continue
+        checked += 1
+        if current / base < 1.0 - threshold:
+            problems.append(
+                f"{key[0]}@{key[1]} {current:,.0f} events/s vs baseline "
+                f"{base:,.0f} ({current / base:.2f}x, "
+                f"floor {1.0 - threshold:.2f}x)"
+            )
+    if problems:
+        return False, "; ".join(problems)
+    return True, (
+        f"scale ok: {checked} point(s) within {threshold:.0%} of baseline, "
+        f"soa {scale.get('soa_speedup_1k')}x at 1k nodes, "
+        f"peak RSS under {scale.get('rss_ceiling_mb'):.0f} MB"
+    )
+
+
 def check_engine_regression(
     report: dict, baseline_path: str, threshold: float = 0.30
 ) -> tuple[bool, str]:
@@ -637,6 +825,8 @@ def run_benchmarks(jobs: Optional[int] = None,
         ),
         "sweep": sweep_benchmark(jobs=jobs),
         "scheme": scheme_benchmark(quick=quick),
+        "soa": soa_benchmark(quick=quick),
+        "scale": scale_benchmark(quick=quick),
         "trace_gen": trace_gen_benchmark(quick=quick),
         "obs": obs_benchmark(quick=quick),
         "faults": faults_benchmark(quick=quick),

@@ -289,6 +289,7 @@ def run_once(
     rates: Optional[RateTable] = None,
     trace_path: Optional[str | Path] = None,
     fault_plan=None,
+    backend: str = "object",
 ) -> RunMetrics:
     """Wire, run and score one simulation.
 
@@ -305,6 +306,10 @@ def run_once(
     before the run (falling back to an active :func:`fault_injection`
     context); ``None``/null plans install nothing and leave the run
     bit-identical.
+
+    ``backend="soa"`` runs the vectorised struct-of-arrays engine --
+    metric-identical to the object graph but without queries, tracing
+    or fault injection (those raise).
     """
     if catalog is None:
         catalog = make_catalog(settings, choose_sources(trace, settings))
@@ -312,6 +317,19 @@ def run_once(
         trace_path = _TRACE_SINK.allocate(0, seed, scheme)
     if fault_plan is None:
         fault_plan = _FAULT_PLAN
+    if backend == "soa":
+        unsupported = []
+        if with_queries:
+            unsupported.append("queries")
+        if trace_path is not None:
+            unsupported.append("tracing")
+        if fault_plan is not None:
+            unsupported.append("fault injection")
+        if unsupported:
+            raise ValueError(
+                f"the soa backend does not support {', '.join(unsupported)}; "
+                "use backend='object'"
+            )
     bus = None
     if trace_path is not None:
         from repro.obs.bus import EventBus
@@ -332,6 +350,7 @@ def run_once(
             with_queries=with_queries,
             refresh_jitter=settings.refresh_jitter,
             bus=bus,
+            backend=backend,
         )
         horizon = settings.duration
         if fault_plan is not None:

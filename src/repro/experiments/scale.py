@@ -1,0 +1,195 @@
+"""Scaling benchmark: events/sec and peak RSS vs node count.
+
+The ROADMAP's "millions of users" items all hinge on one question: how
+fast does one process chew through contact events as the population
+grows?  This module measures exactly that, for both simulation backends,
+on a synthetic sparse contact schedule whose size is controlled by
+``--nodes`` -- up to city scale (10k-100k nodes), far beyond what the
+paper's ~100-node traces exercise.
+
+Each measurement should run in its own process (``python -m
+repro.experiments.scale --nodes N --backend soa --json``): peak RSS is
+read from ``getrusage`` and is a process-lifetime high-water mark, so
+points measured in a shared process would contaminate each other.  The
+``scale`` section of :mod:`repro.experiments.bench` does exactly this.
+
+Scale runs flip :data:`repro.sim.stats.STREAMING_TALLIES` on, so tally
+memory stays bounded no matter how many refresh deliveries the run
+observes (the streaming-percentile satellite of the SoA work).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.caching.items import DataCatalog
+from repro.contacts.rates import mle_rates
+from repro.mobility.trace import Contact, ContactTrace
+from repro.sim import stats as stats_module
+
+DAY = 24 * 3600.0
+
+#: Mean contact duration of the synthetic schedule (seconds).
+CONTACT_DURATION = 300.0
+
+
+def synthetic_trace(
+    num_nodes: int,
+    contacts_per_node: float = 20.0,
+    duration: float = 2 * DAY,
+    seed: int = 0,
+) -> ContactTrace:
+    """A sparse random contact schedule over ``num_nodes`` devices.
+
+    Pairs are uniform (an Erdos-Renyi style mixing pattern -- adequate
+    for throughput measurement, which only cares about event volume and
+    how many events touch protocol-active nodes).  Every node id in
+    ``range(num_nodes)`` exists even if it drew no contacts.
+    """
+    rng = np.random.default_rng(seed)
+    total = int(num_nodes * contacts_per_node / 2)
+    a = rng.integers(0, num_nodes, total)
+    b = rng.integers(0, num_nodes - 1, total)
+    b = b + (b >= a)  # distinct endpoint without rejection sampling
+    start = rng.uniform(0.0, duration, total)
+    length = rng.exponential(CONTACT_DURATION, total)
+    end = np.minimum(start + np.maximum(length, 1.0), duration + CONTACT_DURATION)
+    contacts = [
+        Contact.make(int(ai), int(bi), float(si), float(ei))
+        for ai, bi, si, ei in zip(a, b, start, end)
+    ]
+    return ContactTrace(
+        contacts,
+        node_ids=range(num_nodes),
+        name=f"synthetic-{num_nodes}",
+    )
+
+
+def _pick_sources(trace: ContactTrace, num_sources: int) -> list[int]:
+    """Median-degree nodes, mirroring ``choose_sources``' intent (the
+    sources are ordinary devices, not hubs) without the full centrality
+    machinery."""
+    degree = np.zeros(trace.num_nodes, dtype=np.int64)
+    for contact in trace:
+        degree[contact.a] += 1
+        degree[contact.b] += 1
+    ranked = np.argsort(-degree, kind="stable")
+    mid = len(ranked) // 2
+    half = num_sources // 2
+    picked = ranked[mid - half:mid - half + num_sources]
+    return sorted(int(n) for n in picked)
+
+
+def run_scale_point(
+    num_nodes: int,
+    backend: str = "soa",
+    scheme: str = "hdr",
+    seed: int = 0,
+    contacts_per_node: float = 20.0,
+    duration: float = 2 * DAY,
+    num_caching_nodes: int = 12,
+    num_items: int = 4,
+    num_sources: int = 2,
+    probe_interval: float = 600.0,
+) -> dict:
+    """Build + run one (node count, backend) measurement; returns the
+    JSON-ready result dict."""
+    from repro.core.scheme import build_simulation
+
+    stats_module.STREAMING_TALLIES = True
+    try:
+        t0 = time.perf_counter()
+        trace = synthetic_trace(
+            num_nodes, contacts_per_node=contacts_per_node,
+            duration=duration, seed=seed,
+        )
+        sources = _pick_sources(trace, num_sources)
+        catalog = DataCatalog.uniform(
+            num_items=num_items,
+            sources=sources,
+            refresh_interval=4 * 3600.0,
+            lifetime=12 * 3600.0,
+        )
+        rates = mle_rates(trace)
+        t1 = time.perf_counter()
+        runtime = build_simulation(
+            trace,
+            catalog,
+            scheme=scheme,
+            num_caching_nodes=num_caching_nodes,
+            rates=rates,
+            seed=seed,
+            refresh_jitter=0.25,
+            backend=backend,
+        )
+        runtime.install_freshness_probe(interval=probe_interval, until=duration)
+        t2 = time.perf_counter()
+        runtime.run(until=duration)
+        t3 = time.perf_counter()
+    finally:
+        stats_module.STREAMING_TALLIES = False
+
+    if backend == "soa":
+        events = runtime.events_processed
+    else:
+        events = runtime.sim.events_executed
+    fresh, valid, total = runtime.freshness_snapshot()
+    run_s = t3 - t2
+    return {
+        "nodes": num_nodes,
+        "backend": backend,
+        "scheme": scheme,
+        "seed": seed,
+        "contacts": len(trace),
+        "events": int(events),
+        "trace_gen_s": round(t1 - t0, 3),
+        "build_s": round(t2 - t1, 3),
+        "run_s": round(run_s, 3),
+        "events_per_sec": round(events / run_s, 1) if run_s > 0 else None,
+        "messages": runtime.refresh_overhead(),
+        "freshness": round(fresh / total, 4) if total else None,
+        "peak_rss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+        ),
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="One scaling-benchmark point (run in a fresh process "
+        "so peak RSS is attributable)."
+    )
+    parser.add_argument("--nodes", type=int, required=True)
+    parser.add_argument("--backend", choices=("object", "soa"), default="soa")
+    parser.add_argument("--scheme", default="hdr")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--contacts-per-node", type=float, default=20.0)
+    parser.add_argument("--days", type=float, default=2.0)
+    parser.add_argument("--json", action="store_true", help="emit one JSON dict")
+    args = parser.parse_args(argv)
+    result = run_scale_point(
+        args.nodes,
+        backend=args.backend,
+        scheme=args.scheme,
+        seed=args.seed,
+        contacts_per_node=args.contacts_per_node,
+        duration=args.days * DAY,
+    )
+    if args.json:
+        json.dump(result, sys.stdout)
+        sys.stdout.write("\n")
+    else:
+        for key, value in result.items():
+            print(f"{key:15s}: {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,18 @@ from repro.obs.export import (
 )
 from repro.obs.records import RECORD_TYPES, TraceRecord, record_from_dict
 from repro.obs.registry import MetricsRegistry
-from repro.obs.report import format_trace_report
+
+
+def __getattr__(name: str):
+    # Lazy: report pulls in repro.analysis, whose metrics module imports
+    # the refresh/query protocol modules.  Those protocol modules import
+    # repro.obs.records at module level (hot-path emission sites), so an
+    # eager import here would close a circular chain.
+    if name == "format_trace_report":
+        from repro.obs.report import format_trace_report
+
+        return format_trace_report
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "EventBus",

@@ -28,6 +28,10 @@ from repro.obs.records import TraceRecord
 Subscriber = Callable[[TraceRecord], None]
 
 
+def _emit_discard(record: TraceRecord) -> None:
+    """``emit`` binding for a bus that neither buffers nor streams."""
+
+
 class EventBus:
     """Collects (and optionally streams) trace records.
 
@@ -38,7 +42,8 @@ class EventBus:
     of magnitude above everything else, so it is a separate opt-in).
     """
 
-    __slots__ = ("records", "keep_records", "engine_events", "_subscribers")
+    __slots__ = ("records", "keep_records", "engine_events", "_subscribers",
+                 "emit")
 
     def __init__(self, keep_records: bool = True,
                  engine_events: bool = False) -> None:
@@ -46,6 +51,7 @@ class EventBus:
         self.keep_records = keep_records
         self.engine_events = engine_events
         self._subscribers: list[Subscriber] = []
+        self._rebind_emit()
 
     def __len__(self) -> int:
         return len(self.records)
@@ -53,7 +59,21 @@ class EventBus:
     def __iter__(self):
         return iter(self.records)
 
-    def emit(self, record: TraceRecord) -> None:
+    # ``emit`` is an instance attribute, not a method: with no
+    # subscribers it is bound straight to ``records.append`` (one C call
+    # per record instead of a Python frame + flag test + empty loop).
+    # Tracing is the dominant cost of an instrumented run, so this
+    # hot-path shortcut is worth the rebinding dance below.
+
+    def _rebind_emit(self) -> None:
+        if self._subscribers:
+            self.emit = self._emit_general
+        elif self.keep_records:
+            self.emit = self.records.append
+        else:
+            self.emit = _emit_discard
+
+    def _emit_general(self, record: TraceRecord) -> None:
         """Dispatch one record to the buffer and all subscribers."""
         if self.keep_records:
             self.records.append(record)
@@ -63,6 +83,7 @@ class EventBus:
     def subscribe(self, subscriber: Subscriber) -> None:
         """Stream every subsequent record to ``subscriber(record)``."""
         self._subscribers.append(subscriber)
+        self._rebind_emit()
 
     def of_kind(self, kind: str) -> list[TraceRecord]:
         """Buffered records with the given wire ``kind``."""

@@ -43,14 +43,32 @@ _LANES = {
 # ---------------------------------------------------------------------------
 
 
+#: Lines buffered per write in :func:`write_jsonl` -- large enough to
+#: amortise the I/O syscall, small enough to keep the buffer off the
+#: high-water mark of big traces.
+_JSONL_CHUNK = 8192
+
+
 def write_jsonl(records: Iterable[TraceRecord], path: str | Path) -> int:
-    """Write one JSON object per record; returns the record count."""
+    """Write one JSON object per record; returns the record count.
+
+    Lines are serialised in chunks and flushed with a single ``write``
+    per chunk rather than two per record.
+    """
     count = 0
+    dumps = json.dumps
+    chunk: list[str] = []
     with open(path, "w", encoding="utf-8") as handle:
         for record in records:
-            handle.write(json.dumps(record.as_dict()))
-            handle.write("\n")
+            chunk.append(dumps(record.as_dict()))
             count += 1
+            if len(chunk) >= _JSONL_CHUNK:
+                handle.write("\n".join(chunk))
+                handle.write("\n")
+                chunk.clear()
+        if chunk:
+            handle.write("\n".join(chunk))
+            handle.write("\n")
     return count
 
 

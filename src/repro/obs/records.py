@@ -49,9 +49,31 @@ from __future__ import annotations
 
 from typing import Any, Type
 
+#: Per-class flattened slot tuple (MRO walk done once, not per record;
+#: serialising a large trace calls ``as_dict`` millions of times).
+_FIELDS_CACHE: dict[type, tuple[str, ...]] = {}
+
+
+def _fields_of(cls: type) -> tuple[str, ...]:
+    fields = _FIELDS_CACHE.get(cls)
+    if fields is None:
+        collected = []
+        for klass in cls.__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if slot != "time":
+                    collected.append(slot)
+        fields = _FIELDS_CACHE[cls] = tuple(collected)
+    return fields
+
 
 class TraceRecord:
-    """Base class: every record has a ``kind`` and a ``time``."""
+    """Base class: every record has a ``kind`` and a ``time``.
+
+    Subclass constructors assign ``self.time`` directly instead of
+    chaining through ``super().__init__`` -- records are built on the
+    hot path of every traced run, and the extra frame is measurable at
+    trace volumes.
+    """
 
     kind: str = ""
     __slots__ = ("time",)
@@ -62,10 +84,8 @@ class TraceRecord:
     def as_dict(self) -> dict[str, Any]:
         """Flat JSON-serialisable dict (``kind`` plus every slot)."""
         out: dict[str, Any] = {"kind": self.kind, "time": self.time}
-        for cls in type(self).__mro__:
-            for slot in getattr(cls, "__slots__", ()):
-                if slot != "time":
-                    out[slot] = getattr(self, slot)
+        for slot in _fields_of(type(self)):
+            out[slot] = getattr(self, slot)
         return out
 
     def __eq__(self, other: object) -> bool:
@@ -87,7 +107,7 @@ class EngineRun(TraceRecord):
     __slots__ = ("phase", "events_executed")
 
     def __init__(self, time: float, phase: str, events_executed: int) -> None:
-        super().__init__(time)
+        self.time = time
         self.phase = phase
         self.events_executed = events_executed
 
@@ -101,7 +121,7 @@ class EngineEvent(TraceRecord):
 
     def __init__(self, time: float, callback: str, priority: int,
                  node: int | None) -> None:
-        super().__init__(time)
+        self.time = time
         self.callback = callback
         self.priority = priority
         self.node = node
@@ -112,7 +132,7 @@ class ContactOpen(TraceRecord):
     __slots__ = ("a", "b", "duration")
 
     def __init__(self, time: float, a: int, b: int, duration: float) -> None:
-        super().__init__(time)
+        self.time = time
         self.a = a
         self.b = b
         self.duration = duration
@@ -123,7 +143,7 @@ class ContactClose(TraceRecord):
     __slots__ = ("a", "b")
 
     def __init__(self, time: float, a: int, b: int) -> None:
-        super().__init__(time)
+        self.time = time
         self.a = a
         self.b = b
 
@@ -133,7 +153,7 @@ class NodeChurn(TraceRecord):
     __slots__ = ("node", "online")
 
     def __init__(self, time: float, node: int, online: bool) -> None:
-        super().__init__(time)
+        self.time = time
         self.node = node
         self.online = online
 
@@ -144,7 +164,7 @@ class MessageCreate(TraceRecord):
 
     def __init__(self, time: float, msg_kind: str, src: int, dst: int | None,
                  size: int, msg_id: int, copy_id: int) -> None:
-        super().__init__(time)
+        self.time = time
         self.msg_kind = msg_kind
         self.src = src
         self.dst = dst
@@ -160,7 +180,7 @@ class MessageTx(TraceRecord):
 
     def __init__(self, time: float, msg_kind: str, sender: int, receiver: int,
                  size: int, msg_id: int, copy_id: int, hop_count: int) -> None:
-        super().__init__(time)
+        self.time = time
         self.msg_kind = msg_kind
         self.sender = sender
         self.receiver = receiver
@@ -176,7 +196,7 @@ class MessageRx(TraceRecord):
 
     def __init__(self, time: float, msg_kind: str, sender: int, receiver: int,
                  size: int, msg_id: int, copy_id: int) -> None:
-        super().__init__(time)
+        self.time = time
         self.msg_kind = msg_kind
         self.sender = sender
         self.receiver = receiver
@@ -194,7 +214,7 @@ class MessageDrop(TraceRecord):
 
     def __init__(self, time: float, msg_kind: str, sender: int, receiver: int,
                  size: int, msg_id: int, reason: str) -> None:
-        super().__init__(time)
+        self.time = time
         self.msg_kind = msg_kind
         self.sender = sender
         self.receiver = receiver
@@ -209,7 +229,7 @@ class TaskCreate(TraceRecord):
 
     def __init__(self, time: float, node: int, item_id: int, target: int,
                  version: int, may_recruit: bool) -> None:
-        super().__init__(time)
+        self.time = time
         self.node = node
         self.item_id = item_id
         self.target = target
@@ -225,7 +245,7 @@ class TaskDrop(TraceRecord):
 
     def __init__(self, time: float, node: int, item_id: int, target: int,
                  version: int, reason: str) -> None:
-        super().__init__(time)
+        self.time = time
         self.node = node
         self.item_id = item_id
         self.target = target
@@ -239,7 +259,7 @@ class CachePut(TraceRecord):
 
     def __init__(self, time: float, node: int, item_id: int, version: int,
                  upgrade: bool) -> None:
-        super().__init__(time)
+        self.time = time
         self.node = node
         self.item_id = item_id
         self.version = version
@@ -251,7 +271,7 @@ class CacheEvict(TraceRecord):
     __slots__ = ("node", "item_id", "version")
 
     def __init__(self, time: float, node: int, item_id: int, version: int) -> None:
-        super().__init__(time)
+        self.time = time
         self.node = node
         self.item_id = item_id
         self.version = version
@@ -262,7 +282,7 @@ class CacheExpire(TraceRecord):
     __slots__ = ("node", "item_id", "version")
 
     def __init__(self, time: float, node: int, item_id: int, version: int) -> None:
-        super().__init__(time)
+        self.time = time
         self.node = node
         self.item_id = item_id
         self.version = version
@@ -276,7 +296,7 @@ class CacheRemove(TraceRecord):
     __slots__ = ("node", "item_id", "version")
 
     def __init__(self, time: float, node: int, item_id: int, version: int) -> None:
-        super().__init__(time)
+        self.time = time
         self.node = node
         self.item_id = item_id
         self.version = version
@@ -287,7 +307,7 @@ class QueryIssue(TraceRecord):
     __slots__ = ("node", "query_id", "item_id")
 
     def __init__(self, time: float, node: int, query_id: int, item_id: int) -> None:
-        super().__init__(time)
+        self.time = time
         self.node = node
         self.query_id = query_id
         self.item_id = item_id
@@ -301,7 +321,7 @@ class QueryHit(TraceRecord):
 
     def __init__(self, time: float, node: int, query_id: int, item_id: int,
                  version: int, local: bool) -> None:
-        super().__init__(time)
+        self.time = time
         self.node = node
         self.query_id = query_id
         self.item_id = item_id
@@ -314,7 +334,7 @@ class QueryMiss(TraceRecord):
     __slots__ = ("node", "query_id", "item_id")
 
     def __init__(self, time: float, node: int, query_id: int, item_id: int) -> None:
-        super().__init__(time)
+        self.time = time
         self.node = node
         self.query_id = query_id
         self.item_id = item_id
@@ -326,7 +346,7 @@ class QueryComplete(TraceRecord):
 
     def __init__(self, time: float, node: int, query_id: int, item_id: int,
                  served_by: int, delay: float) -> None:
-        super().__init__(time)
+        self.time = time
         self.node = node
         self.query_id = query_id
         self.item_id = item_id
@@ -343,7 +363,7 @@ class FaultMessageLoss(TraceRecord):
 
     def __init__(self, time: float, msg_kind: str, sender: int, receiver: int,
                  msg_id: int) -> None:
-        super().__init__(time)
+        self.time = time
         self.msg_kind = msg_kind
         self.sender = sender
         self.receiver = receiver
@@ -358,7 +378,7 @@ class FaultTruncation(TraceRecord):
 
     def __init__(self, time: float, msg_kind: str, sender: int, receiver: int,
                  msg_id: int) -> None:
-        super().__init__(time)
+        self.time = time
         self.msg_kind = msg_kind
         self.sender = sender
         self.receiver = receiver
@@ -371,7 +391,7 @@ class FaultCrash(TraceRecord):
 
     def __init__(self, time: float, node: int, cache_wiped: bool,
                  entries_lost: int) -> None:
-        super().__init__(time)
+        self.time = time
         self.node = node
         self.cache_wiped = cache_wiped
         self.entries_lost = entries_lost
@@ -382,7 +402,7 @@ class FaultRecover(TraceRecord):
     __slots__ = ("node",)
 
     def __init__(self, time: float, node: int) -> None:
-        super().__init__(time)
+        self.time = time
         self.node = node
 
 
@@ -394,7 +414,7 @@ class FaultLinkFlap(TraceRecord):
 
     def __init__(self, time: float, a: int, b: int, planned_duration: float,
                  cut_duration: float) -> None:
-        super().__init__(time)
+        self.time = time
         self.a = a
         self.b = b
         self.planned_duration = planned_duration
@@ -410,7 +430,7 @@ class FaultOutage(TraceRecord):
 
     def __init__(self, time: float, node: int, phase: str,
                  duration: float) -> None:
-        super().__init__(time)
+        self.time = time
         self.node = node
         self.phase = phase
         self.duration = duration
@@ -430,7 +450,7 @@ class ModelPredictRecord(TraceRecord):
 
     def __init__(self, time: float, metric: str, predicted: float,
                  measured: float, error: float) -> None:
-        super().__init__(time)
+        self.time = time
         self.metric = metric
         self.predicted = predicted
         self.measured = measured

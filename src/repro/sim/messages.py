@@ -17,6 +17,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.obs.records import MessageCreate
+
+
 _MSG_IDS = itertools.count(1)
 _COPY_IDS = itertools.count(1)
 
@@ -59,8 +62,6 @@ class Message:
 
     def __post_init__(self) -> None:
         if _TRACE is not None:
-            from repro.obs.records import MessageCreate
-
             _TRACE.emit(
                 MessageCreate(self.created_at, self.kind, self.src, self.dst,
                               self.size, self.msg_id, self.copy_id)

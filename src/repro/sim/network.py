@@ -15,8 +15,15 @@ time) so protocol ping-pong during a contact cannot recurse unboundedly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
+from repro.obs.records import (
+    ContactClose,
+    ContactOpen,
+    MessageDrop,
+    MessageRx,
+    MessageTx,
+)
 from repro.sim.engine import Simulator
 from repro.sim.messages import Message
 from repro.sim.node import Node
@@ -166,27 +173,25 @@ class ContactNetwork:
         self._online_listeners.append(listener)
 
     def _schedule_trace(self, contacts: Iterable["Contact"]) -> None:
-        count = 0
+        # Batched: build the (start, end) entry pairs in contact order --
+        # the same sequence-number assignment as per-contact schedule_at
+        # calls -- and heapify once.  A large trace front-loads hundreds
+        # of thousands of events here before the run starts.
+        start_cb, end_cb = self._contact_start, self._contact_end
+        entries: list[tuple[float, int, Callable[..., None], tuple]] = []
         for contact in contacts:
             if contact.a not in self.nodes or contact.b not in self.nodes:
                 continue
-            self.sim.schedule_at(
-                contact.start,
-                self._contact_start,
-                contact.a,
-                contact.b,
-                contact.end - contact.start,
-                priority=_PRIORITY_CONTACT_START,
-            )
-            self.sim.schedule_at(
-                contact.end,
-                self._contact_end,
-                contact.a,
-                contact.b,
-                priority=_PRIORITY_CONTACT_END,
-            )
-            count += 1
-        self.stats.counter("net.contacts_scheduled").add(count)
+            entries.append((
+                contact.start, _PRIORITY_CONTACT_START, start_cb,
+                (contact.a, contact.b, contact.end - contact.start),
+            ))
+            entries.append((
+                contact.end, _PRIORITY_CONTACT_END, end_cb,
+                (contact.a, contact.b),
+            ))
+        self.sim.schedule_batch(entries)
+        self.stats.counter("net.contacts_scheduled").add(len(entries) // 2)
 
     def start(self) -> None:
         """Fire every node's ``on_start`` hooks (idempotent)."""
@@ -216,8 +221,6 @@ class ContactNetwork:
         self.link_model.contact_opened(a, b, link_duration)
         self._c_contacts.add(1)
         if self.trace is not None:
-            from repro.obs.records import ContactOpen
-
             self.trace.emit(ContactOpen(self.sim.now, a, b, duration))
         node_a.contact_started(node_b)
         node_b.contact_started(node_a)
@@ -242,8 +245,6 @@ class ContactNetwork:
             node_b.contact_ended(node_a)
         self.link_model.contact_closed(a, b)
         if opened and self.trace is not None:
-            from repro.obs.records import ContactClose
-
             self.trace.emit(ContactClose(self.sim.now, a, b))
 
     def force_contact_close(self, a: int, b: int) -> bool:
@@ -266,8 +267,6 @@ class ContactNetwork:
         self.link_model.contact_closed(a, b)
         self._forced_closed.add((a, b) if a <= b else (b, a))
         if self.trace is not None:
-            from repro.obs.records import ContactClose
-
             self.trace.emit(ContactClose(self.sim.now, a, b))
         return True
 
@@ -335,8 +334,6 @@ class ContactNetwork:
                 )
             )
         if self.trace is not None:
-            from repro.obs.records import MessageTx
-
             self.trace.emit(
                 MessageTx(
                     self.sim.now,
@@ -381,8 +378,6 @@ class ContactNetwork:
 
     def _emit_drop(self, message: Message, sender: Node, receiver: Node,
                    reason: str) -> None:
-        from repro.obs.records import MessageDrop
-
         self.trace.emit(
             MessageDrop(
                 self.sim.now,
@@ -400,8 +395,6 @@ class ContactNetwork:
         """Delivery wrapper used only when tracing: emit ``msg.rx`` then
         run the normal :meth:`Node.receive`."""
         if self.trace is not None:
-            from repro.obs.records import MessageRx
-
             self.trace.emit(
                 MessageRx(
                     self.sim.now,

@@ -1,0 +1,140 @@
+"""Struct-of-arrays contact schedule for the vectorised backend.
+
+The object backend schedules two heap events per contact and pays a
+Python callback for each, whether or not the contact can move any data.
+:class:`ContactEventStream` flattens the same schedule into parallel
+NumPy arrays sorted by the *identical* ``(time, priority, seq)`` key the
+event heap uses, so the vectorised executor (:mod:`repro.core.soa`) can
+
+* slice the schedule into slabs and mask out, in one vector operation,
+  every contact whose endpoints are both protocol-inactive, and
+* walk the surviving events in exactly the order the heap would have
+  popped them.
+
+Ordering contract (mirrors ``ContactNetwork._schedule_trace``): contact
+``i`` of the trace gets sequence ``2i`` for its start (priority 0) and
+``2i + 1`` for its end (priority 10); all dynamically scheduled events
+(probes, source bumps, deliveries) receive later sequence numbers, so at
+an equal timestamp the static starts always precede them.  Priority is a
+function of the event kind here (start=0, end=10), so sorting by
+``(time, kind, seq)`` reproduces the heap order exactly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mobility.trace import Contact
+
+#: ``kind`` codes in the event arrays.
+KIND_START = 0
+KIND_END = 1
+
+
+class ContactEventStream:
+    """The full contact schedule as sorted parallel arrays.
+
+    Parameters
+    ----------
+    contacts:
+        Iterable of :class:`~repro.mobility.trace.Contact` (a
+        :class:`~repro.mobility.trace.ContactTrace` works as-is).
+        Contacts touching unknown nodes are dropped, matching
+        ``ContactNetwork._schedule_trace``.
+    node_ids:
+        The node population.  Node *indices* (positions in the sorted id
+        tuple) index the executor's vectorised per-node state.
+    """
+
+    def __init__(self, contacts: Iterable["Contact"],
+                 node_ids: Iterable[int]) -> None:
+        ids = sorted(int(n) for n in node_ids)
+        self.node_ids: tuple[int, ...] = tuple(ids)
+        self.num_nodes = len(ids)
+        self._id_arr = np.asarray(ids, dtype=np.int64)
+        self.index_of: dict[int, int] = {nid: i for i, nid in enumerate(ids)}
+
+        known = self.index_of
+        start_l: list[float] = []
+        end_l: list[float] = []
+        a_l: list[int] = []
+        b_l: list[int] = []
+        for contact in contacts:
+            if contact.a not in known or contact.b not in known:
+                continue
+            start_l.append(contact.start)
+            end_l.append(contact.end)
+            a_l.append(contact.a)
+            b_l.append(contact.b)
+        n = len(start_l)
+        self.num_contacts = n
+        self.num_events = 2 * n
+
+        start_t = np.asarray(start_l, dtype=np.float64)
+        end_t = np.asarray(end_l, dtype=np.float64)
+        a_arr = np.asarray(a_l, dtype=np.int64)
+        b_arr = np.asarray(b_l, dtype=np.int64)
+
+        ev_time = np.concatenate([start_t, end_t])
+        ev_kind = np.concatenate(
+            [np.zeros(n, dtype=np.int8), np.ones(n, dtype=np.int8)]
+        )
+        ev_seq = np.concatenate(
+            [np.arange(0, 2 * n, 2, dtype=np.int64),
+             np.arange(1, 2 * n, 2, dtype=np.int64)]
+        )
+        ev_a = np.concatenate([a_arr, a_arr])
+        ev_b = np.concatenate([b_arr, b_arr])
+        # Heap pop order: (time, priority, seq).  kind orders like
+        # priority (start=0 < end=10) and seq breaks the remaining ties.
+        order = np.lexsort((ev_seq, ev_kind, ev_time))
+        #: event arrays, in exact heap pop order
+        self.time = ev_time[order]
+        self.kind = ev_kind[order]
+        self.a = ev_a[order]
+        self.b = ev_b[order]
+        #: node indices (positions in ``node_ids``) for mask arithmetic
+        self.a_idx = np.searchsorted(self._id_arr, self.a)
+        self.b_idx = np.searchsorted(self._id_arr, self.b)
+        #: contact start times in schedule order (a sorted subsequence of
+        #: ``time``), for O(log n) contacts-opened-by-t queries
+        self.start_times = np.sort(start_t) if n else start_t
+
+    def slab_end(self, pos: int, slab_size: int) -> int:
+        """End of the slab beginning at ``pos``: at least ``slab_size``
+        events, extended so a timestamp is never split across slabs.
+
+        Splitting a timestamp would let the executor run controls (which
+        fire between a timestamp's contact starts and its deliveries)
+        before static events of the *same* timestamp in a later slab --
+        an ordering the event heap can never produce.
+        """
+        n = self.num_events
+        if pos >= n:
+            return n
+        hi = min(pos + slab_size, n)
+        if hi < n:
+            hi = int(np.searchsorted(self.time, self.time[hi - 1],
+                                     side="right"))
+        return hi
+
+    def events_until(self, t: float) -> int:
+        """Number of events with time <= ``t`` (how many the object
+        backend's heap would have popped by then)."""
+        return int(np.searchsorted(self.time, t, side="right"))
+
+    def contacts_opened_until(self, t: float) -> int:
+        """Number of contacts whose start time is <= ``t``."""
+        return int(np.searchsorted(self.start_times, t, side="right"))
+
+    def __len__(self) -> int:
+        return self.num_events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ContactEventStream({self.num_contacts} contacts, "
+            f"{self.num_nodes} nodes)"
+        )

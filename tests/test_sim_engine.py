@@ -325,3 +325,82 @@ class TestCancelledCompaction:
         sim.run()
         assert fired == ["late"]
         assert sim.events_executed == 2
+
+
+class TestScheduleBatch:
+    """Bulk scheduling must be indistinguishable (in pop order) from the
+    equivalent sequence of ``schedule_at`` calls."""
+
+    def test_empty_batch_is_noop(self):
+        sim = Simulator()
+        assert sim.schedule_batch([]) == 0
+        sim.run()
+        assert sim.events_executed == 0
+
+    def test_batch_matches_sequential_pop_order(self):
+        spec = [(float(i % 5), i % 3, i) for i in range(200)]
+
+        fired_seq = []
+        sim_seq = Simulator()
+        for time, priority, tag in spec:
+            sim_seq.schedule_at(time, fired_seq.append, tag,
+                                priority=priority)
+        sim_seq.run()
+
+        fired_batch = []
+        sim_batch = Simulator()
+        count = sim_batch.schedule_batch(
+            [(time, priority, fired_batch.append, (tag,))
+             for time, priority, tag in spec]
+        )
+        sim_batch.run()
+
+        assert count == len(spec)
+        assert fired_batch == fired_seq
+
+    def test_batch_interleaves_with_dynamic_events(self):
+        """Events scheduled after the batch (dynamic protocol events)
+        break time/priority ties *after* the batch entries, exactly as
+        with sequential scheduling."""
+        fired = []
+        sim = Simulator()
+        sim.schedule_batch([(1.0, 0, fired.append, ("static",))])
+        sim.schedule_at(1.0, fired.append, "dynamic", priority=0)
+        sim.run()
+        assert fired == ["static", "dynamic"]
+
+    def test_batch_rejects_past_times(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_batch([(1.0, 0, lambda: None, ())])
+
+    def test_batch_rejects_non_finite_times(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_batch([(float("nan"), 0, lambda: None, ())])
+
+    @given(st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0,
+                      allow_nan=False, allow_infinity=False),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=60,
+    ))
+    @settings(max_examples=50, deadline=None)
+    def test_batch_pop_order_property(self, pairs):
+        spec = [(time, priority, i)
+                for i, (time, priority) in enumerate(pairs)]
+        fired = []
+        sim = Simulator()
+        sim.schedule_batch(
+            [(time, priority, fired.append, (tag,))
+             for time, priority, tag in spec]
+        )
+        sim.run()
+        assert fired == [
+            tag for (_, _, tag) in
+            sorted(spec, key=lambda e: (e[0], e[1], e[2]))
+        ]
