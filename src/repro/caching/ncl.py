@@ -21,10 +21,13 @@ from typing import Optional
 
 import numpy as np
 
+from repro.contacts import rates as rates_module
 from repro.contacts.centrality import (
     betweenness_centrality,
     contact_centrality,
+    contact_centrality_array,
     degree_centrality,
+    degree_centrality_array,
     rank_nodes,
 )
 from repro.contacts.graph import contact_graph
@@ -48,6 +51,12 @@ def select_caching_nodes(
     """
     if k < 1:
         raise ValueError("k must be >= 1")
+    if (
+        rates.is_array_backed
+        and rates_module.VECTORISED_RATES
+        and metric in ("contact", "degree")
+    ):
+        return _select_array(rates, k, metric, window, exclude)
     candidates = sorted(rates.nodes() - (exclude or set()))
     if len(candidates) < k:
         raise ValueError(f"only {len(candidates)} candidates for k={k}")
@@ -69,3 +78,29 @@ def select_caching_nodes(
     else:
         raise ValueError(f"unknown metric {metric!r}")
     return rank_nodes(scores, top=k)
+
+
+def _select_array(
+    rates: RateTable,
+    k: int,
+    metric: str,
+    window: float,
+    exclude: Optional[set[int]],
+) -> list[int]:
+    """Array fast path: score candidates and rank without dicts.
+
+    Produces the same selection as the scalar path -- candidates ascend,
+    scores accumulate in the same order, and the ranking key is
+    ``(-score, id)`` like :func:`rank_nodes`.
+    """
+    candidates = rates.node_array()
+    if exclude:
+        candidates = candidates[~np.isin(candidates, sorted(exclude))]
+    if len(candidates) < k:
+        raise ValueError(f"only {len(candidates)} candidates for k={k}")
+    if metric == "contact":
+        scores = contact_centrality_array(rates, window, candidates)
+    else:
+        scores = degree_centrality_array(rates, candidates)
+    order = np.lexsort((candidates, -scores))
+    return candidates[order[:k]].tolist()

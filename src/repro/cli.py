@@ -382,14 +382,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"scale     : {point['backend']}@{point['nodes']}: "
                   f"ERROR {point['error']}")
             continue
+        build = (f"build {point['build_total_s']:.2f}s"
+                 if point.get("build_total_s") is not None
+                 else f"build {point['build_s']:.2f}s")
+        if point.get("build_contacts_per_sec"):
+            build += f" @ {point['build_contacts_per_sec']:,.0f} contacts/s"
         print(f"scale     : {point['backend']:6s} {point['nodes']:>7,} nodes: "
               f"{point['events_per_sec']:>13,.0f} events/s, "
               f"peak RSS {point['peak_rss_mb']:.0f} MB "
-              f"(run {point['run_s']:.3f}s, build {point['build_s']:.2f}s)")
+              f"(run {point['run_s']:.3f}s, {build})")
     scale = report["scale"]
     print(f"            soa/object at 1k nodes: {scale['soa_speedup_1k']}x "
           f"(floor {scale['speedup_floor']}x), "
-          f"RSS ceiling {scale['rss_ceiling_mb']:.0f} MB")
+          f"RSS ceiling {scale['rss_ceiling_mb']:.0f} MB, "
+          f"build floor {scale['build_floor_contacts_per_sec']:,.0f} "
+          f"contacts/s at {scale['build_floor_min_nodes']:,}+ nodes")
     for name, row in report["trace_gen"]["profiles"].items():
         print(f"trace_gen : {name}: vectorised {row['vectorised_seconds']:.2f}s, "
               f"scalar {row['scalar_seconds']:.2f}s "
@@ -457,20 +464,36 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     import cProfile
     import pstats
 
-    from repro.experiments.bench import reference_settings
-    from repro.experiments.runner import make_trace, run_once
-
-    settings = reference_settings(quick=args.quick)
-    seed = settings.seeds[0]
-    trace = make_trace(settings, seed)
     profiler = cProfile.Profile()
-    profiler.enable()
-    metrics = run_once(trace, args.scheme, settings, seed=seed)
-    profiler.disable()
+    if args.nodes is not None:
+        # build+run of one synthetic scaling point -- the vectorised
+        # build pipeline (synthesis, estimation, construction) dominates
+        # here, which is exactly what this mode is for inspecting
+        from repro.experiments.scale import run_scale_point
+
+        profiler.enable()
+        result = run_scale_point(args.nodes, backend=args.backend,
+                                 scheme=args.scheme)
+        profiler.disable()
+        tail = (f"nodes={result['nodes']} backend={result['backend']} "
+                f"build={result['build_total_s']:.2f}s "
+                f"run={result['run_s']:.2f}s")
+    else:
+        from repro.experiments.bench import reference_settings
+        from repro.experiments.runner import make_trace, run_once
+
+        settings = reference_settings(quick=args.quick)
+        seed = settings.seeds[0]
+        trace = make_trace(settings, seed)
+        profiler.enable()
+        metrics = run_once(trace, args.scheme, settings, seed=seed,
+                           backend=args.backend)
+        profiler.disable()
+        tail = (f"scheme={metrics.scheme} freshness={metrics.freshness:.4f} "
+                f"messages={metrics.messages:.0f}")
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort).print_stats(args.top)
-    print(f"scheme={metrics.scheme} freshness={metrics.freshness:.4f} "
-          f"messages={metrics.messages:.0f}")
+    print(tail)
     if args.output:
         profiler.dump_stats(args.output)
         print(f"wrote {args.output} (open with pstats or snakeviz)")
@@ -598,6 +621,13 @@ def build_parser() -> argparse.ArgumentParser:
         "profile", help="cProfile one reference-scenario simulation run"
     )
     profile_parser.add_argument("--scheme", default="hdr")
+    profile_parser.add_argument("--backend", choices=("object", "soa"),
+                                default="object",
+                                help="simulation engine to profile")
+    profile_parser.add_argument("--nodes", type=int, default=None,
+                                help="profile a synthetic scaling point of "
+                                "this size (build + run) instead of the "
+                                "reference scenario")
     profile_parser.add_argument("--sort", default="cumulative",
                                 choices=["cumulative", "tottime", "calls"])
     profile_parser.add_argument("--top", type=int, default=25,

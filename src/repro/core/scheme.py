@@ -44,6 +44,7 @@ from repro.caching.items import CacheEntry, DataCatalog, VersionHistory
 from repro.caching.ncl import select_caching_nodes
 from repro.caching.query import QueryManager
 from repro.caching.store import CacheStore, EvictionPolicy
+from repro.contacts import rates as rates_module
 from repro.contacts.rates import RateTable, mle_rates
 from repro.core import accounting
 from repro.core.accounting import FreshnessAccountant
@@ -56,6 +57,7 @@ from repro.core.refresh import (
     SourceHandler,
 )
 from repro.core.replication import RelayPlan, decompose_requirement, plan_edge
+from repro.mobility.arrays import ContactArrays
 from repro.mobility.trace import ContactTrace
 from repro.obs.bus import EventBus, tee_online_listener
 from repro.obs.registry import MetricsRegistry
@@ -311,7 +313,7 @@ class SchemeRuntime:
 
 
 def build_simulation(
-    trace: ContactTrace,
+    trace: "ContactTrace | ContactArrays",
     catalog: DataCatalog,
     scheme: str | SchemeConfig = "hdr",
     num_caching_nodes: int = 12,
@@ -354,7 +356,9 @@ def build_simulation(
     :class:`~repro.core.soa.SoaRuntime` driving the same protocols over
     a vectorised struct-of-arrays contact schedule (metric-identical,
     ~order-of-magnitude faster at scale, but without the query plane,
-    link models, tracing or the invalidate scheme).
+    link models, tracing or the invalidate scheme).  The soa backend
+    also accepts a :class:`~repro.mobility.arrays.ContactArrays` trace
+    and then builds everything array-natively.
     """
     if backend == "soa":
         from repro.core.soa import build_soa_simulation
@@ -390,6 +394,11 @@ def build_simulation(
         )
     if backend != "object":
         raise ValueError(f"unknown backend {backend!r} (object|soa)")
+    if not isinstance(trace, ContactTrace):
+        raise ValueError(
+            "the object backend needs a ContactTrace; pass "
+            "trace.to_trace() or use backend='soa' for ContactArrays"
+        )
     config = SCHEMES[scheme] if isinstance(scheme, str) else scheme
     rng = np.random.default_rng(seed)
     stats = MetricsRegistry()
@@ -627,12 +636,18 @@ def _plan_tree(
     depth = max(1, tree.max_depth)
     hop_window = window / depth
     hop_target = decompose_requirement(p_req, depth)
+    vectorised = rates_module.VECTORISED_RATES
+    if vectorised:
+        all_nodes_arr = np.asarray(all_nodes, dtype=np.int64)
     for parent, child in tree.edges():
-        candidates = [
-            (relay, rates.rate(parent, relay), rates.rate(relay, child))
-            for relay in all_nodes
-            if relay not in (parent, child)
-        ]
+        if vectorised:
+            candidates = _relay_candidates(rates, parent, child, all_nodes_arr)
+        else:
+            candidates = [
+                (relay, rates.rate(parent, relay), rates.rate(relay, child))
+                for relay in all_nodes
+                if relay not in (parent, child)
+            ]
         plans[(item_id, parent, child)] = plan_edge(
             parent,
             child,
@@ -642,6 +657,41 @@ def _plan_tree(
             target=hop_target,
             max_relays=max_relays,
         )
+
+
+def _relay_candidates(
+    rates: RateTable,
+    parent: int,
+    child: int,
+    all_nodes_arr: np.ndarray,
+) -> list[tuple[int, float, float]]:
+    """Relay triples for one edge via neighbor-set intersection.
+
+    :func:`plan_edge` keeps only relays whose two-hop probability is
+    positive, which requires a positive rate on *both* legs -- so
+    intersecting the two endpoints' positive-rate neighbor lists (and
+    restricting to ``all_nodes``) yields the identical plan as
+    enumerating every node, in O(deg) instead of O(N) per edge.
+    """
+    if not len(all_nodes_arr):
+        return []
+    up_ids, up_rates = rates.neighbor_view(parent)
+    down_ids, down_rates = rates.neighbor_view(child)
+    common, iu, idn = np.intersect1d(
+        up_ids, down_ids, assume_unique=True, return_indices=True
+    )
+    keep = (common != parent) & (common != child)
+    # Restrict to the node population the scalar enumeration walks (a
+    # rate table may cover nodes outside the trace).
+    pos = np.searchsorted(all_nodes_arr, common).clip(0, len(all_nodes_arr) - 1)
+    keep &= all_nodes_arr[pos] == common
+    return list(
+        zip(
+            common[keep].tolist(),
+            up_rates[iu[keep]].tolist(),
+            down_rates[idn[keep]].tolist(),
+        )
+    )
 
 
 def scheme_variant(base: str, **overrides) -> SchemeConfig:

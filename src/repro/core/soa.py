@@ -54,6 +54,7 @@ from repro.caching.store import CacheStore, EvictionPolicy
 from repro.contacts.rates import RateTable, mle_rates
 from repro.core.accounting import FreshnessAccountant
 from repro.core.refresh import REFRESH_OVERHEAD, RefreshUpdate, _PendingRefresh
+from repro.mobility.arrays import ContactArrays
 from repro.mobility.trace import ContactTrace
 from repro.obs.registry import MetricsRegistry
 from repro.sim.soa import KIND_START, ContactEventStream
@@ -215,8 +216,6 @@ class SoaRuntime:
         self._slab_time = stream.time[:0]
         self._slab_aidx = stream.a_idx[:0]
         self._slab_bidx = stream.b_idx[:0]
-        self._slab_a = stream.a[:0]
-        self._slab_b = stream.b[:0]
         self._slab_kind = stream.kind[:0]
 
         # -- event accounting (comparable to sim.events_executed) --------
@@ -422,8 +421,6 @@ class SoaRuntime:
         self._pos = hi
         self._slab_time = stream.time[pos:hi]
         self._slab_kind = stream.kind[pos:hi]
-        self._slab_a = stream.a[pos:hi]
-        self._slab_b = stream.b[pos:hi]
         self._slab_aidx = stream.a_idx[pos:hi]
         self._slab_bidx = stream.b_idx[pos:hi]
         self._fill_rel(0)
@@ -432,22 +429,23 @@ class SoaRuntime:
     def _fill_rel(self, lo: int) -> None:
         """Build the slab's relevant-event lists from offset ``lo`` on,
         under the current active mask."""
+        ids = self.stream._id_arr
         if self._family == "flood":
             # Every contact maintains neighbour sets; the cheap skip
             # happens per-push via the version vectors.
             rel = slice(lo, len(self._slab_time))
             self._rel_time = self._slab_time[rel].tolist()
             self._rel_kind = self._slab_kind[rel].tolist()
-            self._rel_a = self._slab_a[rel].tolist()
-            self._rel_b = self._slab_b[rel].tolist()
+            self._rel_a = ids[self._slab_aidx[rel]].tolist()
+            self._rel_b = ids[self._slab_bidx[rel]].tolist()
         elif self._family == "tree":
             act = self._active
             mask = act[self._slab_aidx[lo:]] | act[self._slab_bidx[lo:]]
             rel = np.nonzero(mask)[0] + lo
             self._rel_time = self._slab_time[rel].tolist()
             self._rel_kind = self._slab_kind[rel].tolist()
-            self._rel_a = self._slab_a[rel].tolist()
-            self._rel_b = self._slab_b[rel].tolist()
+            self._rel_a = ids[self._slab_aidx[rel]].tolist()
+            self._rel_b = ids[self._slab_bidx[rel]].tolist()
         else:  # "none": no handlers anywhere; skip the entire schedule
             self._rel_time = []
             self._rel_kind = []
@@ -852,7 +850,7 @@ class SoaRuntime:
 
 
 def build_soa_simulation(
-    trace: ContactTrace,
+    trace: "ContactTrace | ContactArrays",
     catalog: DataCatalog,
     scheme="hdr",
     num_caching_nodes: int = 12,
@@ -872,6 +870,11 @@ def build_soa_simulation(
     same RNG consumption order (NCL selection, tree assignment), same
     structures, same warm seeding -- so a SoA run and an object run from
     the same ``(trace, catalog, scheme, seed)`` are metric-identical.
+
+    ``trace`` may be a :class:`~repro.mobility.arrays.ContactArrays`,
+    in which case the event stream (and, when ``rates`` is not given,
+    the rate estimation) is built array-natively without ever
+    materialising ``Contact`` objects.
     """
     from repro.core.scheme import SCHEMES, _build_structure, _plan_tree
 
@@ -935,7 +938,10 @@ def build_soa_simulation(
                     plans=plans,
                 )
 
-    stream = ContactEventStream(trace, trace.node_ids)
+    if isinstance(trace, ContactArrays):
+        stream = ContactEventStream.from_arrays(trace)
+    else:
+        stream = ContactEventStream(trace, trace.node_ids)
 
     stores: dict[int, CacheStore] = {
         nid: CacheStore(capacity=store_capacity, policy=eviction_policy)

@@ -4,7 +4,7 @@ The ROADMAP's "millions of users" items all hinge on one question: how
 fast does one process chew through contact events as the population
 grows?  This module measures exactly that, for both simulation backends,
 on a synthetic sparse contact schedule whose size is controlled by
-``--nodes`` -- up to city scale (10k-100k nodes), far beyond what the
+``--nodes`` -- up to metro scale (100k-1M nodes), far beyond what the
 paper's ~100-node traces exercise.
 
 Each measurement should run in its own process (``python -m
@@ -12,6 +12,16 @@ repro.experiments.scale --nodes N --backend soa --json``): peak RSS is
 read from ``getrusage`` and is a process-lifetime high-water mark, so
 points measured in a shared process would contaminate each other.  The
 ``scale`` section of :mod:`repro.experiments.bench` does exactly this.
+
+The build phase is timed in three stages -- synthesis (drawing the
+contact schedule), estimation (pairwise MLE rates) and construction
+(NCL selection, trees, relay plans, the event stream) -- and the result
+carries both the split and a ``build_contacts_per_sec`` throughput the
+bench regression gate can hold a floor against.  The ``soa`` backend
+runs the whole build array-natively on a
+:class:`~repro.mobility.arrays.ContactArrays` trace; ``--trace-mode
+objects`` forces the legacy ``Contact``-object path (the two produce
+identical simulations -- the equivalence tests rely on it).
 
 Scale runs flip :data:`repro.sim.stats.STREAMING_TALLIES` on, so tally
 memory stays bounded no matter how many refresh deliveries the run
@@ -25,12 +35,13 @@ import json
 import resource
 import sys
 import time
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.caching.items import DataCatalog
 from repro.contacts.rates import mle_rates
+from repro.mobility.arrays import ContactArrays
 from repro.mobility.trace import Contact, ContactTrace
 from repro.sim import stats as stats_module
 
@@ -38,6 +49,29 @@ DAY = 24 * 3600.0
 
 #: Mean contact duration of the synthetic schedule (seconds).
 CONTACT_DURATION = 300.0
+
+
+def _draw_schedule(
+    num_nodes: int,
+    contacts_per_node: float,
+    duration: float,
+    seed: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The raw contact draws shared by both trace representations.
+
+    Pairs are uniform (an Erdos-Renyi style mixing pattern -- adequate
+    for throughput measurement, which only cares about event volume and
+    how many events touch protocol-active nodes).
+    """
+    rng = np.random.default_rng(seed)
+    total = int(num_nodes * contacts_per_node / 2)
+    a = rng.integers(0, num_nodes, total)
+    b = rng.integers(0, num_nodes - 1, total)
+    b = b + (b >= a)  # distinct endpoint without rejection sampling
+    start = rng.uniform(0.0, duration, total)
+    length = rng.exponential(CONTACT_DURATION, total)
+    end = np.minimum(start + np.maximum(length, 1.0), duration + CONTACT_DURATION)
+    return start, end, a, b
 
 
 def synthetic_trace(
@@ -48,19 +82,12 @@ def synthetic_trace(
 ) -> ContactTrace:
     """A sparse random contact schedule over ``num_nodes`` devices.
 
-    Pairs are uniform (an Erdos-Renyi style mixing pattern -- adequate
-    for throughput measurement, which only cares about event volume and
-    how many events touch protocol-active nodes).  Every node id in
-    ``range(num_nodes)`` exists even if it drew no contacts.
+    Every node id in ``range(num_nodes)`` exists even if it drew no
+    contacts.  Materialises per-contact objects; prefer
+    :func:`synthetic_arrays` above ~10k nodes.
     """
-    rng = np.random.default_rng(seed)
-    total = int(num_nodes * contacts_per_node / 2)
-    a = rng.integers(0, num_nodes, total)
-    b = rng.integers(0, num_nodes - 1, total)
-    b = b + (b >= a)  # distinct endpoint without rejection sampling
-    start = rng.uniform(0.0, duration, total)
-    length = rng.exponential(CONTACT_DURATION, total)
-    end = np.minimum(start + np.maximum(length, 1.0), duration + CONTACT_DURATION)
+    start, end, a, b = _draw_schedule(num_nodes, contacts_per_node,
+                                      duration, seed)
     contacts = [
         Contact.make(int(ai), int(bi), float(si), float(ei))
         for ai, bi, si, ei in zip(a, b, start, end)
@@ -72,14 +99,43 @@ def synthetic_trace(
     )
 
 
-def _pick_sources(trace: ContactTrace, num_sources: int) -> list[int]:
+def synthetic_arrays(
+    num_nodes: int,
+    contacts_per_node: float = 20.0,
+    duration: float = 2 * DAY,
+    seed: int = 0,
+) -> ContactArrays:
+    """:func:`synthetic_trace` without the ``Contact`` objects.
+
+    Identical draws, identical normalise/sort/merge semantics:
+    ``synthetic_arrays(...).to_trace()`` equals ``synthetic_trace(...)``
+    contact-for-contact for any seed.
+    """
+    start, end, a, b = _draw_schedule(num_nodes, contacts_per_node,
+                                      duration, seed)
+    return ContactArrays(
+        start, end, a, b,
+        node_ids=np.arange(num_nodes),
+        name=f"synthetic-{num_nodes}",
+    )
+
+
+def _pick_sources(
+    trace: Union[ContactTrace, ContactArrays], num_sources: int
+) -> list[int]:
     """Median-degree nodes, mirroring ``choose_sources``' intent (the
     sources are ordinary devices, not hubs) without the full centrality
     machinery."""
-    degree = np.zeros(trace.num_nodes, dtype=np.int64)
-    for contact in trace:
-        degree[contact.a] += 1
-        degree[contact.b] += 1
+    if isinstance(trace, ContactArrays):
+        degree = (
+            np.bincount(trace.a, minlength=trace.num_nodes)
+            + np.bincount(trace.b, minlength=trace.num_nodes)
+        ).astype(np.int64)
+    else:
+        degree = np.zeros(trace.num_nodes, dtype=np.int64)
+        for contact in trace:
+            degree[contact.a] += 1
+            degree[contact.b] += 1
     ranked = np.argsort(-degree, kind="stable")
     mid = len(ranked) // 2
     half = num_sources // 2
@@ -98,18 +154,41 @@ def run_scale_point(
     num_items: int = 4,
     num_sources: int = 2,
     probe_interval: float = 600.0,
+    trace_mode: str = "auto",
+    record_path: Optional[str] = None,
 ) -> dict:
     """Build + run one (node count, backend) measurement; returns the
-    JSON-ready result dict."""
+    JSON-ready result dict.
+
+    ``trace_mode`` selects the trace representation: ``"arrays"`` (the
+    vectorised :class:`ContactArrays` pipeline), ``"objects"`` (the
+    legacy per-``Contact`` path), or ``"auto"`` (arrays for the soa
+    backend, objects for the object backend, which cannot consume
+    arrays).  ``record_path`` appends per-stage
+    :class:`~repro.obs.records.BuildPhaseRecord` rows as JSONL.
+    """
     from repro.core.scheme import build_simulation
 
+    if trace_mode not in ("auto", "arrays", "objects"):
+        raise ValueError(f"unknown trace mode {trace_mode!r}")
+    use_arrays = (
+        trace_mode == "arrays"
+        or (trace_mode == "auto" and backend == "soa")
+    )
     stats_module.STREAMING_TALLIES = True
     try:
         t0 = time.perf_counter()
-        trace = synthetic_trace(
-            num_nodes, contacts_per_node=contacts_per_node,
-            duration=duration, seed=seed,
-        )
+        if use_arrays:
+            trace = synthetic_arrays(
+                num_nodes, contacts_per_node=contacts_per_node,
+                duration=duration, seed=seed,
+            )
+        else:
+            trace = synthetic_trace(
+                num_nodes, contacts_per_node=contacts_per_node,
+                duration=duration, seed=seed,
+            )
+        t1 = time.perf_counter()
         sources = _pick_sources(trace, num_sources)
         catalog = DataCatalog.uniform(
             num_items=num_items,
@@ -118,7 +197,7 @@ def run_scale_point(
             lifetime=12 * 3600.0,
         )
         rates = mle_rates(trace)
-        t1 = time.perf_counter()
+        t2 = time.perf_counter()
         runtime = build_simulation(
             trace,
             catalog,
@@ -130,9 +209,9 @@ def run_scale_point(
             backend=backend,
         )
         runtime.install_freshness_probe(interval=probe_interval, until=duration)
-        t2 = time.perf_counter()
-        runtime.run(until=duration)
         t3 = time.perf_counter()
+        runtime.run(until=duration)
+        t4 = time.perf_counter()
     finally:
         stats_module.STREAMING_TALLIES = False
 
@@ -141,16 +220,23 @@ def run_scale_point(
     else:
         events = runtime.sim.events_executed
     fresh, valid, total = runtime.freshness_snapshot()
-    run_s = t3 - t2
-    return {
+    contacts = len(trace)
+    build_total = t3 - t0
+    run_s = t4 - t3
+    result = {
         "nodes": num_nodes,
         "backend": backend,
         "scheme": scheme,
         "seed": seed,
-        "contacts": len(trace),
+        "trace_mode": "arrays" if use_arrays else "objects",
+        "contacts": contacts,
         "events": int(events),
         "trace_gen_s": round(t1 - t0, 3),
-        "build_s": round(t2 - t1, 3),
+        "estimate_s": round(t2 - t1, 3),
+        "build_s": round(t3 - t2, 3),
+        "build_total_s": round(build_total, 3),
+        "build_contacts_per_sec": round(contacts / build_total, 1)
+        if build_total > 0 else None,
         "run_s": round(run_s, 3),
         "events_per_sec": round(events / run_s, 1) if run_s > 0 else None,
         "messages": runtime.refresh_overhead(),
@@ -159,6 +245,30 @@ def run_scale_point(
             resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
         ),
     }
+    if record_path:
+        _append_build_records(record_path, result, t0, t1, t2, t3, t4)
+    return result
+
+
+def _append_build_records(path: str, result: dict, t0: float, t1: float,
+                          t2: float, t3: float, t4: float) -> None:
+    """Append one ``build.phase`` JSONL row per stage to ``path``."""
+    from repro.obs.records import BuildPhaseRecord
+
+    nodes, contacts = result["nodes"], result["contacts"]
+    stages = [
+        ("synthesis", t0, t1),
+        ("estimation", t1, t2),
+        ("construction", t2, t3),
+        ("run", t3, t4),
+    ]
+    with open(path, "a", encoding="utf-8") as fh:
+        for phase, lo, hi in stages:
+            record = BuildPhaseRecord(
+                time=round(lo - t0, 6), phase=phase,
+                seconds=round(hi - lo, 6), nodes=nodes, contacts=contacts,
+            )
+            fh.write(json.dumps(record.as_dict()) + "\n")
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -172,6 +282,14 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--contacts-per-node", type=float, default=20.0)
     parser.add_argument("--days", type=float, default=2.0)
+    parser.add_argument(
+        "--trace-mode", choices=("auto", "arrays", "objects"), default="auto",
+        help="trace representation (auto: arrays for soa, objects otherwise)",
+    )
+    parser.add_argument(
+        "--record", metavar="FILE", default=None,
+        help="append per-stage build.phase records to FILE as JSONL",
+    )
     parser.add_argument("--json", action="store_true", help="emit one JSON dict")
     args = parser.parse_args(argv)
     result = run_scale_point(
@@ -181,6 +299,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         seed=args.seed,
         contacts_per_node=args.contacts_per_node,
         duration=args.days * DAY,
+        trace_mode=args.trace_mode,
+        record_path=args.record,
     )
     if args.json:
         json.dump(result, sys.stdout)

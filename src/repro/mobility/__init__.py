@@ -21,6 +21,7 @@ list of pairwise contacts.  This package provides:
 """
 
 from repro.mobility.trace import Contact, ContactTrace, TraceStats
+from repro.mobility.arrays import ContactArrays
 from repro.mobility.synthetic import (
     PoissonContactModel,
     community_rate_matrix,
@@ -40,6 +41,7 @@ from repro.mobility.calibration import TraceProfile, get_profile, list_profiles
 __all__ = [
     "CommunityModel",
     "Contact",
+    "ContactArrays",
     "ContactTrace",
     "DiurnalModel",
     "PoissonContactModel",

@@ -16,12 +16,17 @@ are the HCMM-flavoured generators used by the calibrated trace profiles.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
 from repro.mobility import synthetic
-from repro.mobility.synthetic import PoissonContactModel, community_rate_matrix
+from repro.mobility.arrays import ContactArrays
+from repro.mobility.synthetic import (
+    DEFAULT_CHUNK_CONTACTS,
+    PoissonContactModel,
+    community_rate_matrix,
+)
 from repro.mobility.trace import Contact, ContactTrace
 
 #: Default 24-hour activity profile (fraction of peak rate per hour),
@@ -68,6 +73,23 @@ class CommunityModel:
 
     def generate(self, duration: float, rng: np.random.Generator) -> ContactTrace:
         return self._model.generate(duration, rng)
+
+    def generate_chunks(
+        self,
+        duration: float,
+        rng: np.random.Generator,
+        chunk_contacts: int = DEFAULT_CHUNK_CONTACTS,
+    ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Chunked generation (see :meth:`PoissonContactModel.generate_chunks`)."""
+        return self._model.generate_chunks(duration, rng, chunk_contacts=chunk_contacts)
+
+    def generate_arrays(
+        self,
+        duration: float,
+        rng: np.random.Generator,
+        chunk_contacts: int = DEFAULT_CHUNK_CONTACTS,
+    ) -> ContactArrays:
+        return self._model.generate_arrays(duration, rng, chunk_contacts=chunk_contacts)
 
     def community_of(self, node_id: int) -> int:
         return int(self.membership[node_id])
@@ -136,6 +158,53 @@ class DiurnalModel:
         else:
             kept = []
         return ContactTrace(kept, node_ids=self.node_ids, name=self.name)
+
+    def generate_chunks(
+        self,
+        duration: float,
+        rng: np.random.Generator,
+        chunk_contacts: int = DEFAULT_CHUNK_CONTACTS,
+    ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Chunked thinned generation, bit-identical to :meth:`generate`.
+
+        The RNG contract requires every candidate draw to happen before
+        any thinning uniform, and the uniforms to be consumed in global
+        trace order -- so the candidate blocks are generated first,
+        assembled sorted, and then thinned slice by slice (consecutive
+        ``rng.random(k)`` calls read the same stream as one big draw).
+        """
+        candidate = ContactArrays.from_blocks(
+            self._peak_model.generate_chunks(duration, rng, chunk_contacts=chunk_contacts),
+            node_ids=self.node_ids,
+            name=self.name,
+            merge_overlaps=False,
+        )
+        m = len(candidate)
+        for lo in range(0, m, chunk_contacts):
+            hi = min(lo + chunk_contacts, m)
+            starts = candidate.start[lo:hi]
+            u = rng.random(hi - lo)
+            hours = (starts // 3600.0).astype(np.int64) % 24
+            keep = u < self.activity[hours]
+            yield (
+                starts[keep],
+                candidate.end[lo:hi][keep],
+                candidate.a[lo:hi][keep],
+                candidate.b[lo:hi][keep],
+            )
+
+    def generate_arrays(
+        self,
+        duration: float,
+        rng: np.random.Generator,
+        chunk_contacts: int = DEFAULT_CHUNK_CONTACTS,
+    ) -> ContactArrays:
+        return ContactArrays.from_blocks(
+            self.generate_chunks(duration, rng, chunk_contacts=chunk_contacts),
+            node_ids=self.node_ids,
+            name=self.name,
+            merge_overlaps=False,
+        )
 
     def effective_mean_activity(self) -> float:
         """Average of the activity profile (thinning acceptance rate)."""

@@ -15,8 +15,12 @@ and contact intervals are built from the sampled proximity indicator.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
+from repro.mobility.arrays import ContactArrays
+from repro.mobility.synthetic import DEFAULT_CHUNK_CONTACTS
 from repro.mobility.trace import Contact, ContactTrace
 
 
@@ -105,3 +109,81 @@ class RandomWaypointModel:
             if horizon > start:
                 contacts.append(Contact.make(pair[0], pair[1], start, horizon))
         return ContactTrace(contacts, node_ids=self.node_ids, name=self.name)
+
+    def generate_chunks(
+        self,
+        duration: float,
+        rng: np.random.Generator,
+        chunk_contacts: int = DEFAULT_CHUNK_CONTACTS,
+    ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield the trace as lexsorted ``(start, end, a, b)`` blocks.
+
+        Contact extraction consumes no RNG (only :meth:`positions`
+        does), so the open/close bookkeeping can run on whole pair
+        vectors per sample; the emitted interval set is exactly
+        :meth:`generate`'s, just discovered in close-time order before
+        the per-block sort.
+        """
+        samples = self.positions(duration, rng)
+        num_samples = samples.shape[0]
+        dt = self.sample_interval
+        range2 = self.radio_range**2
+        iu_i, iu_j = np.triu_indices(self.n, k=1)
+        open_mask = np.zeros(len(iu_i), dtype=bool)
+        open_start = np.zeros(len(iu_i), dtype=np.float64)
+        buf: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        buffered = 0
+        for k in range(num_samples):
+            t = k * dt
+            pts = samples[k]
+            diff = pts[:, None, :] - pts[None, :, :]
+            dist2 = (diff**2).sum(axis=2)
+            near = dist2[iu_i, iu_j] <= range2
+            closes = open_mask & ~near
+            if bool(closes.any()):
+                s = open_start[closes]
+                buf.append((s, np.full(len(s), t), iu_i[closes], iu_j[closes]))
+                buffered += len(s)
+            opens = near & ~open_mask
+            open_start[opens] = t
+            open_mask = near
+            if buffered >= chunk_contacts:
+                yield _flush(buf)
+                buf, buffered = [], 0
+        horizon = (num_samples - 1) * dt
+        final = open_mask & (open_start < horizon)
+        if bool(final.any()):
+            s = open_start[final]
+            buf.append((s, np.full(len(s), horizon), iu_i[final], iu_j[final]))
+        if buf:
+            yield _flush(buf)
+
+    def generate_arrays(
+        self,
+        duration: float,
+        rng: np.random.Generator,
+        chunk_contacts: int = DEFAULT_CHUNK_CONTACTS,
+    ) -> ContactArrays:
+        """Chunked generation assembled into a :class:`ContactArrays`.
+
+        A pair that closes can only reopen a full sample later, so
+        intervals of one pair never overlap or touch and assembly skips
+        the merge pass.
+        """
+        return ContactArrays.from_blocks(
+            self.generate_chunks(duration, rng, chunk_contacts=chunk_contacts),
+            node_ids=self.node_ids,
+            name=self.name,
+            merge_overlaps=False,
+        )
+
+
+def _flush(
+    buf: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    s = np.concatenate([p[0] for p in buf])
+    e = np.concatenate([p[1] for p in buf])
+    a = np.concatenate([p[2] for p in buf])
+    b = np.concatenate([p[3] for p in buf])
+    order = np.lexsort((b, a, e, s))
+    return s[order], e[order], a[order], b[order]

@@ -17,11 +17,15 @@ probabilities) can be validated exactly against these traces.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
+from repro.mobility.arrays import ContactArrays
 from repro.mobility.trace import Contact, ContactTrace
+
+#: Default block size (contacts) for the chunked generators.
+DEFAULT_CHUNK_CONTACTS = 262_144
 
 #: When True (default), trace generation assembles each pair's contacts
 #: with numpy mask/array operations; the scalar per-contact loop is kept
@@ -211,6 +215,127 @@ class PoissonContactModel:
                         contacts.append(Contact.make(a, b, s, e))
         return ContactTrace(contacts, node_ids=self.node_ids, name=self.name)
 
+    def generate_chunks(
+        self,
+        duration: float,
+        rng: np.random.Generator,
+        chunk_contacts: int = DEFAULT_CHUNK_CONTACTS,
+    ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield the trace as lexsorted ``(start, end, a, b)`` blocks.
+
+        Streams the same trace :meth:`generate` builds -- the per-pair
+        RNG draw sequence is identical, each pair's overlapping
+        intervals are merged exactly like :class:`ContactTrace` does,
+        and a pair never spans two blocks -- without materialising one
+        :class:`Contact` object per row.  Assembling the blocks with
+        :meth:`ContactArrays.from_blocks` therefore reproduces
+        ``ContactArrays.from_trace(self.generate(...))`` bit for bit
+        per seed (enforced by tests, including odd block sizes).
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if chunk_contacts < 1:
+            raise ValueError("chunk_contacts must be positive")
+        n = self.rates.shape[0]
+        mean_duration = self.mean_duration
+        node_ids = self.node_ids
+        buf_s: list[np.ndarray] = []
+        buf_e: list[np.ndarray] = []
+        buf_a: list[int] = []
+        buf_b: list[int] = []
+        buf_counts: list[int] = []
+        buffered = 0
+        for i in range(n):
+            row = self.rates[i]
+            a_id = node_ids[i]
+            for j in range(i + 1, n):
+                rate = row[j]
+                if rate <= 0:
+                    continue
+                count = rng.poisson(rate * duration)
+                if count == 0:
+                    continue
+                starts = np.sort(rng.random(count)) * duration
+                lengths = rng.exponential(mean_duration, size=count)
+                ends = np.minimum(starts + lengths, duration)
+                keep = ends > starts
+                s = starts[keep]
+                e = ends[keep]
+                if not len(s):
+                    continue
+                s, e = _merge_sorted_intervals(s, e)
+                a, b = a_id, node_ids[j]
+                if a > b:
+                    a, b = b, a
+                buf_s.append(s)
+                buf_e.append(e)
+                buf_a.append(a)
+                buf_b.append(b)
+                buf_counts.append(len(s))
+                buffered += len(s)
+                if buffered >= chunk_contacts:
+                    yield _flush_block(buf_s, buf_e, buf_a, buf_b, buf_counts)
+                    buf_s, buf_e, buf_a, buf_b, buf_counts = [], [], [], [], []
+                    buffered = 0
+        if buffered:
+            yield _flush_block(buf_s, buf_e, buf_a, buf_b, buf_counts)
+
+    def generate_arrays(
+        self,
+        duration: float,
+        rng: np.random.Generator,
+        chunk_contacts: int = DEFAULT_CHUNK_CONTACTS,
+    ) -> ContactArrays:
+        """Chunked generation assembled into a :class:`ContactArrays`."""
+        return ContactArrays.from_blocks(
+            self.generate_chunks(duration, rng, chunk_contacts=chunk_contacts),
+            node_ids=self.node_ids,
+            name=self.name,
+            merge_overlaps=False,
+        )
+
     def expected_contacts(self, duration: float) -> float:
         """Expected total number of contacts over ``duration`` seconds."""
         return float(np.triu(self.rates, k=1).sum() * duration)
+
+
+def _merge_sorted_intervals(s: np.ndarray, e: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Merge one pair's overlapping intervals (starts already ascending).
+
+    Same rule as ``trace._merge_overlapping``: an interval starting at
+    or before the running max end joins the open one.  Within one pair
+    the global running max equals the per-group running max (a group
+    break requires a start above every earlier end), so the cummax test
+    is exact, not conservative.
+    """
+    if len(s) < 2:
+        return s, e
+    order = np.lexsort((e, s))
+    s = s[order]
+    e = e[order]
+    cm = np.maximum.accumulate(e)
+    brk = np.empty(len(s), dtype=bool)
+    brk[0] = True
+    brk[1:] = s[1:] > cm[:-1]
+    if bool(brk.all()):
+        return s, e
+    first = np.nonzero(brk)[0]
+    last = np.append(first[1:] - 1, len(s) - 1)
+    return s[first], cm[last]
+
+
+def _flush_block(
+    buf_s: list[np.ndarray],
+    buf_e: list[np.ndarray],
+    buf_a: list[int],
+    buf_b: list[int],
+    buf_counts: list[int],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Assemble buffered per-pair runs into one lexsorted block."""
+    s = np.concatenate(buf_s)
+    e = np.concatenate(buf_e)
+    counts = np.asarray(buf_counts)
+    a = np.repeat(np.asarray(buf_a, dtype=np.int64), counts)
+    b = np.repeat(np.asarray(buf_b, dtype=np.int64), counts)
+    order = np.lexsort((b, a, e, s))
+    return s[order], e[order], a[order], b[order]
