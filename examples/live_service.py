@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Live service mode: stream a trace into a running service, query it.
+
+Builds a :class:`~repro.service.LiveService` over the small profile's
+trace, then runs three things concurrently in one asyncio loop:
+
+1. a replay source streaming the recorded contacts into the ingest
+   pipeline (planner -> cache -> results);
+2. the stdlib HTTP endpoint answering item queries;
+3. an open-loop Zipf load generator firing queries at a target rate.
+
+Afterwards the service runs out to the horizon and the final score is
+compared with the batch run on the same (trace, scheme, seed) -- the
+replay-equivalence guarantee from docs/SERVICE.md.
+
+Run:  python examples/live_service.py
+(Set REPRO_EXAMPLE_FAST=1 for a seconds-long smoke run, as CI does.)
+"""
+
+import asyncio
+import json
+import os
+
+from repro.experiments.config import DAY, Settings
+from repro.service import HttpApi, ReplaySource, service_from_settings
+from repro.service.loadgen import generate_load
+
+#: CI smoke switch: shrink every example to run in seconds
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
+
+DAYS = 1.0 if FAST else 3.0
+RATE = 500.0 if FAST else 2000.0
+DURATION = 2.0 if FAST else 10.0
+SEED = 1
+
+
+async def one_http_query(api: HttpApi, item_id: int) -> dict:
+    reader, writer = await asyncio.open_connection(api.host, api.port)
+    writer.write(
+        f"GET /query?item={item_id} HTTP/1.1\r\n"
+        "Host: example\r\nConnection: close\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    return json.loads(raw.split(b"\r\n\r\n", 1)[1])
+
+
+async def main() -> None:
+    settings = Settings.fast().with_(duration=DAYS * DAY, seeds=(SEED,))
+    service, trace = service_from_settings(settings, seed=SEED, scheme="hdr")
+    print(f"trace: {trace.num_nodes} nodes, {len(trace)} contacts, "
+          f"{trace.duration / 3600:.0f} h of simulated time")
+
+    api = HttpApi(service)  # port 0: pick a free one
+    await api.start()
+    print(f"service listening on {api.url}")
+
+    # Stream the recorded trace in while the load generator queries it.
+    # dilation=inf replays as fast as the pipeline drains -- the
+    # replay-equivalence configuration.
+    serve_task = asyncio.ensure_future(service.serve(ReplaySource(trace)))
+    load = await generate_load(service, rate=RATE, duration=DURATION,
+                               seed=SEED + 1000)
+    await serve_task
+
+    answer = await one_http_query(api, item_id=0)
+    print(f"\nHTTP answer for item 0: hit={answer['hit']} "
+          f"fresh={answer['fresh']} valid={answer['valid']} "
+          f"(version {answer['version']}, node {answer['served_by']})")
+
+    print(f"\nload: {load['achieved_qps']:,.0f} q/s achieved "
+          f"(target {load['target_qps']:,.0f}), "
+          f"{load['completed']} served, {load['shed']} shed")
+    print(f"latency ms: p50 {load['p50_ms']:.3f}  "
+          f"p95 {load['p95_ms']:.3f}  p99 {load['p99_ms']:.3f}")
+
+    # Run the remaining simulation out to the horizon and score exactly
+    # like the batch path would.
+    service.finish()
+    await service.stop()
+    await api.stop()
+    score = service.score()
+    print(f"\nfinal score: freshness {score['freshness']:.4f}, "
+          f"validity {score['validity']:.4f}, "
+          f"messages {score['messages']:.0f}")
+
+    # The punchline: the streamed run reproduces the batch run exactly.
+    from repro.experiments.runner import run_once
+    from repro.service import scores_match
+
+    batch = run_once(trace, "hdr", settings, seed=SEED)
+    print(f"identical to batch run_once: {scores_match(score, batch)}")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -11,6 +11,8 @@
     repro analyze-trace contacts.txt  # stats/centrality of a real trace file
     repro simulate --scheme hdr ...   # one ad-hoc simulation run
     repro predict --scheme hdr ...    # closed-form freshness predictions
+    repro serve --source replay ...   # live service: stream contacts + HTTP API
+    repro loadgen --rate 2000 ...     # fire Zipf queries at the live service
     repro bench [-o BENCH.json]       # engine/sweep/scheme/trace-gen benchmarks
     repro profile [--scheme hdr]      # cProfile one reference simulation
 """
@@ -19,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -345,10 +348,130 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import math
+    import signal
+
+    from repro.experiments.config import DAY, Settings
+    from repro.service import FileTailSource, HttpApi, ReplaySource, SocketSource
+    from repro.service.runtime import service_from_settings
+
+    dilation = float(args.dilation)
+    if dilation <= 0:
+        print("error: --dilation must be positive (use 'inf' for unpaced)")
+        return 2
+    if args.source == "tail" and not args.file:
+        print("error: --source tail needs --file CONTACTS.jsonl")
+        return 2
+    bus = None
+    if args.trace:
+        from repro.obs.bus import EventBus
+
+        bus = EventBus()
+    settings = Settings.fast().with_(
+        profile=args.profile,
+        duration=args.days * DAY,
+        seeds=(args.seed,),
+    )
+    service, trace = service_from_settings(
+        settings,
+        seed=args.seed,
+        scheme=args.scheme,
+        contact_queue=args.contact_queue,
+        query_queue=args.query_queue,
+        serve_rate=args.serve_rate,
+        bus=bus,
+    )
+
+    async def _serve() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        if args.source == "replay":
+            source = ReplaySource(trace, dilation=dilation, stop=stop)
+        elif args.source == "tail":
+            source = FileTailSource(args.file, stop=stop)
+        else:
+            host, _, port = args.listen.partition(":")
+            source = SocketSource(host or "127.0.0.1",
+                                  int(port or 0), stop=stop)
+            await source.start()
+            print(f"ingesting contacts on tcp://{source.host}:{source.port}")
+        api = None
+        if args.http != "off":
+            host, _, port = args.http.partition(":")
+            api = HttpApi(service, host or "127.0.0.1", int(port or 0))
+            await api.start()
+            print(f"serving queries on {api.url} "
+                  "(/healthz /status /metrics /freshness /query?item=N)")
+        if args.wall_limit is not None:
+            loop.call_later(args.wall_limit, stop.set)
+        try:
+            await service.serve(source)
+            interrupted = stop.is_set()
+            finish = (
+                args.finish
+                or (args.source == "replay" and not interrupted)
+            )
+            if finish:
+                service.finish()
+        finally:
+            await service.stop()
+            if api is not None:
+                await api.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
+        pass
+    status = service.status()
+    contacts = status["contacts"]
+    queries = status["queries"]
+    freshness = status["freshness"]
+    print(f"sim time          : {status['sim_time']:,.0f}s "
+          f"of {status['horizon']:,.0f}s")
+    print(f"contacts ingested : {contacts['ingested']:.0f} "
+          f"(late {contacts['shed_late']:.0f}, "
+          f"unknown {contacts['shed_unknown']:.0f}, "
+          f"malformed {contacts['malformed']:.0f})")
+    print(f"queries           : served {queries['served']:.0f}, "
+          f"shed {queries['shed']:.0f} "
+          f"(p50 {queries['p50_ms']:.3f} ms, p95 {queries['p95_ms']:.3f} ms)")
+    print(f"freshness         : {freshness['freshness']:.4f}, "
+          f"validity {freshness['validity']:.4f} "
+          f"({freshness['fresh']}/{freshness['total']} slots fresh)")
+    if service.runtime.sim.now >= service.horizon and not math.isnan(
+        freshness["freshness"]
+    ):
+        score = service.score()
+        print(f"final score       : freshness {score['freshness']:.4f}, "
+              f"validity {score['validity']:.4f}, "
+              f"messages {score['messages']:.0f}")
+    if bus is not None:
+        from repro.obs.export import write_jsonl
+
+        count = write_jsonl(bus.records, args.trace)
+        print(f"trace written to  : {args.trace} ({count} records; "
+              "inspect with 'repro report')")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service.loadgen import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench import (
         check_engine_regression,
         check_scale_regression,
+        check_service_regression,
         run_benchmarks,
     )
 
@@ -418,6 +541,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"passive={theory['identical']}), "
           f"max|err| {theory['max_error']:.3f} vs band "
           f"{theory['tolerance']:.3f} (agree={theory['agreement']})")
+    service = report["service"]
+    throughput = service["throughput"]
+    print(f"service   : {throughput['achieved_qps']:,.0f} q/s sustained "
+          f"(target {throughput['target_qps']:,.0f}, "
+          f"floor {service['qps_floor']:,.0f}), latency ms "
+          f"p50 {throughput['p50_ms']:.3f} / p95 {throughput['p95_ms']:.3f} "
+          f"/ p99 {throughput['p99_ms']:.3f}, "
+          f"identical={service['identical']}")
+    overload = service["overload"]
+    if "error" in overload:
+        print(f"            overload: ERROR {overload['error']}")
+    else:
+        print(f"            overload 2x: served {overload['completed']}, "
+              f"shed {overload['shed']}, peak RSS "
+              f"{overload['peak_rss_mb']:.0f} MB "
+              f"(ceiling {service['rss_ceiling_mb']:.0f} MB)")
     print(f"wrote {args.output}")
     status = 0
     if args.check_baseline is not None:
@@ -426,6 +565,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if not ok:
             status = 1
         ok, message = check_scale_regression(report, args.check_baseline)
+        print(("ok  : " if ok else "FAIL: ") + message)
+        if not ok:
+            status = 1
+        ok, message = check_service_regression(report, args.check_baseline)
         print(("ok  : " if ok else "FAIL: ") + message)
         if not ok:
             status = 1
@@ -456,6 +599,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         status = 1
     if not report["theory"]["agreement"]:
         print("FAIL: model prediction outside the trace's agreement band")
+        status = 1
+    if not report["service"]["identical"]:
+        print("FAIL: live-service replay diverged from the batch run")
+        status = 1
+    if not report["service"]["overload_ok"]:
+        print("FAIL: service overload run unhealthy (no sheds, no "
+              "completions, or peak RSS over the ceiling)")
         status = 1
     return status
 
@@ -602,6 +752,55 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="write model.predict JSONL records "
                                 "(best with --simulate)")
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="long-running live service: stream contacts, answer queries",
+    )
+    serve_parser.add_argument("--scheme", default="hdr")
+    serve_parser.add_argument("--profile", default="small")
+    serve_parser.add_argument("--days", type=float, default=3.0,
+                              help="simulation horizon in days")
+    serve_parser.add_argument("--seed", type=int, default=1)
+    serve_parser.add_argument("--source", choices=("replay", "tail", "tcp"),
+                              default="replay",
+                              help="contact feed: replay the profile's own "
+                              "trace, tail a JSONL file, or accept TCP lines")
+    serve_parser.add_argument("--file", metavar="CONTACTS.jsonl", default=None,
+                              help="JSONL contact file for --source tail")
+    serve_parser.add_argument("--listen", metavar="HOST:PORT",
+                              default="127.0.0.1:0",
+                              help="ingest endpoint for --source tcp")
+    serve_parser.add_argument("--dilation", default="inf",
+                              help="replay pacing in sim-seconds per wall "
+                              "second (number or 'inf'; --source replay only)")
+    serve_parser.add_argument("--http", metavar="HOST:PORT",
+                              default="127.0.0.1:8642",
+                              help="query/metrics HTTP endpoint ('off' to "
+                              "disable)")
+    serve_parser.add_argument("--contact-queue", type=int, default=256,
+                              help="bounded ingest queue size (backpressure)")
+    serve_parser.add_argument("--query-queue", type=int, default=1024,
+                              help="bounded query queue size (sheds when full)")
+    serve_parser.add_argument("--serve-rate", type=float, default=None,
+                              help="throttle the query worker to N served/s")
+    serve_parser.add_argument("--wall-limit", type=float, metavar="SECONDS",
+                              default=None,
+                              help="stop gracefully after this much wall time")
+    serve_parser.add_argument("--finish", action="store_true",
+                              help="always run remaining events to the "
+                              "horizon on shutdown (replay mode does this "
+                              "automatically when the stream completes)")
+    serve_parser.add_argument("--trace", metavar="FILE", default=None,
+                              help="write service.snapshot JSONL records")
+
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="fire Zipf queries at a live service and report latency",
+    )
+    from repro.service.loadgen import add_arguments as _loadgen_arguments
+
+    _loadgen_arguments(loadgen_parser)
+
     bench_parser = sub.add_parser(
         "bench", help="engine/sweep/scheme/trace-gen benchmarks"
     )
@@ -639,6 +838,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+@contextmanager
+def _terminate_as_interrupt():
+    """Deliver SIGTERM as ``KeyboardInterrupt`` for the command's duration.
+
+    Long-running commands (sweeps, simulate, serve) hold open state --
+    ``TraceSink`` allocations, checkpoint journals, half-written
+    exports -- whose context managers flush in their ``finally`` blocks.
+    Raising through the normal unwind path lets all of that flush on a
+    polite ``kill``, exactly as it already does on Ctrl-C, instead of
+    dying mid-write with a traceback.  (``repro serve`` installs its own
+    asyncio handlers first; they win while its event loop runs.)
+    """
+    import signal
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        previous = None
+    try:
+        yield
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -649,10 +876,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze-trace": _cmd_analyze_trace,
         "simulate": _cmd_simulate,
         "predict": _cmd_predict,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "bench": _cmd_bench,
         "profile": _cmd_profile,
     }
-    return handlers[args.command](args)
+    try:
+        with _terminate_as_interrupt():
+            return handlers[args.command](args)
+    except KeyboardInterrupt:
+        print("\ninterrupted -- shutting down cleanly", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -56,6 +56,16 @@ Five measurements back the performance claims in the README:
   prediction must agree with the measured run inside the trace's
   KS-derived band (see docs/MODEL.md).
 
+* **service benchmark** -- the live-service mode (:mod:`repro.service`)
+  in three phases: an infinite-dilation replay whose scores must be
+  field-identical to the batch run on the same (trace, scheme, seed);
+  an in-process serve + open-loop Zipf load reporting sustained q/s and
+  p50/p95/p99 query latency from the service-side histogram; and a 2x
+  overload run in a fresh subprocess (token-bucket-throttled worker,
+  tiny query queue) so sheds are deterministic and peak RSS is
+  attributable.  Gated on replay identity, a 1k q/s floor, sheds
+  actually happening under overload, and an overload RSS ceiling.
+
 ``repro bench`` runs all of them and writes ``BENCH_runner.json``;
 ``repro bench --quick`` shrinks the workloads for CI smoke use.
 """
@@ -662,6 +672,176 @@ def soa_benchmark(quick: bool = False) -> dict:
     }
 
 
+#: Minimum sustained single-process query throughput (q/s) for the
+#: service benchmark's in-process phase -- the acceptance floor for
+#: live-service mode.
+SERVICE_MIN_QPS = 1000.0
+
+#: Peak-RSS ceiling for the service overload subprocess (MB).  The
+#: whole point of the bounded queues is that a 2x overload sheds
+#: queries instead of growing memory; the overload run sits near 60 MB,
+#: so clearing this ceiling means backpressure stopped working.
+SERVICE_RSS_CEILING_MB = 600.0
+
+#: Absolute p95 query-latency grace (ms) for the baseline comparison.
+#: Sub-millisecond baselines would otherwise fail on scheduler jitter
+#: alone; the current run only fails when p95 exceeds *both* the
+#: baseline-relative threshold and this floor.
+SERVICE_P95_GRACE_MS = 10.0
+
+
+def service_benchmark(quick: bool = False) -> dict:
+    """Live-service equivalence, sustained throughput, and overload.
+
+    Phase one replays the reference trace through
+    :func:`repro.service.replay_scores` at infinite dilation and
+    compares field-for-field against batch ``run_once`` on the same
+    (trace, scheme, seed) -- ``identical`` is a hard gate, the streaming
+    path's entire claim is that it reaches the same numbers.  Phase two
+    serves the service's own replay while an open-loop Zipf load fires
+    at a target well above :data:`SERVICE_MIN_QPS`; latency percentiles
+    come from the service-side ``MetricsRegistry`` histogram.  Phase
+    three runs ``python -m repro.service.loadgen`` in a fresh subprocess
+    at 2x the worker's token-bucket serve rate with a 64-slot query
+    queue: sheds are deterministic regardless of host speed, and peak
+    RSS (a process-lifetime high-water mark) is attributable to the
+    overloaded service alone.
+    """
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro
+    from repro.experiments.runner import make_trace, run_once
+    from repro.service.loadgen import run_loadgen
+    from repro.service.runtime import replay_scores, scores_match
+
+    settings = Settings.fast().with_(
+        duration=(2 if quick else 3) * DAY, seeds=(1,)
+    )
+    seed = settings.seeds[0]
+    trace = make_trace(settings, seed)
+    start = time.perf_counter()
+    batch = run_once(trace, "hdr", settings, seed=seed)
+    batch_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    score = replay_scores(settings, seed=seed, scheme="hdr")
+    replay_seconds = time.perf_counter() - start
+    identical = scores_match(score, batch)
+
+    throughput = run_loadgen(
+        days=2.0,
+        scheme="hdr",
+        seed=seed,
+        rate=2500.0 if quick else 5000.0,
+        duration=3.0 if quick else 8.0,
+    )
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        src_dir + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src_dir
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.service.loadgen", "--json",
+         "--days", "2", "--seed", str(seed),
+         "--rate", "1000", "--serve-rate", "500", "--query-queue", "64",
+         "--duration", "2" if quick else "4"],
+        capture_output=True, text=True, env=env,
+    )
+    if proc.returncode != 0:
+        overload = {
+            "error": (proc.stderr or "subprocess failed").strip()[-500:],
+        }
+    else:
+        overload = json.loads(proc.stdout)
+        overload.pop("profile", None)
+
+    qps = throughput.get("achieved_qps", 0.0)
+    return {
+        "scheme": "hdr",
+        "seed": seed,
+        "identical": identical,
+        "batch_seconds": round(batch_seconds, 3),
+        "replay_seconds": round(replay_seconds, 3),
+        "throughput": throughput,
+        "overload": overload,
+        "qps_floor": SERVICE_MIN_QPS,
+        "qps_ok": qps >= SERVICE_MIN_QPS,
+        "rss_ceiling_mb": SERVICE_RSS_CEILING_MB,
+        "overload_ok": (
+            "error" not in overload
+            and overload.get("shed", 0) > 0
+            and overload.get("completed", 0) > 0
+            and overload.get("peak_rss_mb", float("inf"))
+            <= SERVICE_RSS_CEILING_MB
+        ),
+    }
+
+
+def check_service_regression(
+    report: dict, baseline_path: str, threshold: float = 0.30
+) -> tuple[bool, str]:
+    """Gate the service section: identity, floors, and p95 vs baseline.
+
+    Fails when the replay diverged from the batch run, when sustained
+    throughput fell under :data:`SERVICE_MIN_QPS`, when the overload
+    subprocess failed to shed (or blew the RSS ceiling), or when p95
+    query latency exceeded both ``baseline * (1 + threshold)`` and the
+    absolute :data:`SERVICE_P95_GRACE_MS` grace.  A baseline without a
+    ``service`` section passes the latency comparison (nothing to
+    regress against), exactly like the other checks.
+    """
+    service = report.get("service", {})
+    throughput = service.get("throughput", {})
+    problems = []
+    if not service.get("identical"):
+        problems.append("replay scores diverged from the batch run")
+    if not service.get("qps_ok"):
+        problems.append(
+            f"{throughput.get('achieved_qps', 0.0):,.0f} q/s under the "
+            f"{service.get('qps_floor', SERVICE_MIN_QPS):,.0f} q/s floor"
+        )
+    overload = service.get("overload", {})
+    if "error" in overload:
+        problems.append(f"overload subprocess failed: {overload['error']}")
+    elif not service.get("overload_ok"):
+        problems.append(
+            f"overload run unhealthy (shed {overload.get('shed')}, "
+            f"completed {overload.get('completed')}, peak RSS "
+            f"{overload.get('peak_rss_mb', float('nan')):.0f} MB vs "
+            f"{service.get('rss_ceiling_mb'):.0f} MB ceiling)"
+        )
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        baseline = {}
+    base_p95 = (
+        baseline.get("service", {}).get("throughput", {}).get("p95_ms")
+    )
+    current_p95 = throughput.get("p95_ms")
+    p95_note = "no baseline p95; skipping latency check"
+    if base_p95 and current_p95 is not None:
+        allowed = max(base_p95 * (1.0 + threshold), SERVICE_P95_GRACE_MS)
+        p95_note = (
+            f"p95 {current_p95:.3f} ms vs baseline {base_p95:.3f} ms "
+            f"(allowed {allowed:.3f} ms)"
+        )
+        if current_p95 > allowed:
+            problems.append("query latency regressed: " + p95_note)
+    if problems:
+        return False, "; ".join(problems)
+    message = (
+        f"service ok: {throughput.get('achieved_qps', 0.0):,.0f} q/s "
+        f"(floor {service.get('qps_floor', SERVICE_MIN_QPS):,.0f}), "
+        f"overload shed {overload.get('shed')} at "
+        f"{overload.get('peak_rss_mb', float('nan')):.0f} MB, {p95_note}"
+    )
+    return True, message
+
+
 #: Peak-RSS ceiling for any single scale point (MB).  The 100k-node SoA
 #: run peaks well under this; blowing through it means per-node memory
 #: regressed to object-graph territory.
@@ -905,6 +1085,7 @@ def run_benchmarks(jobs: Optional[int] = None,
         "obs": obs_benchmark(quick=quick),
         "faults": faults_benchmark(quick=quick),
         "theory": theory_benchmark(quick=quick),
+        "service": service_benchmark(quick=quick),
     }
     if path is not None:
         with open(path, "w", encoding="utf-8") as handle:

@@ -39,6 +39,7 @@ kind                emitted when
 ``fault.outage``    a data source stalls/resumes version generation
 ``model.predict``   one predicted-vs-measured metric row (theory layer)
 ``build.phase``     wall-clock split of one build stage (scale harness)
+``service.snapshot`` periodic live-service progress summary
 ================== ====================================================
 
 The ``fault.*`` family is emitted only by
@@ -478,6 +479,37 @@ class BuildPhaseRecord(TraceRecord):
         self.contacts = contacts
 
 
+class ServiceSnapshot(TraceRecord):
+    """Periodic progress snapshot of the live service.
+
+    Emitted by the service's result-builder stage (never by the
+    simulation itself); ``time`` is the simulation clock at the
+    snapshot, ``uptime_s`` the wall-clock seconds since the service
+    started.  Latency percentiles are NaN until a query is served.
+    """
+
+    kind = "service.snapshot"
+    __slots__ = ("uptime_s", "contacts", "queries", "shed",
+                 "p50_ms", "p95_ms", "p99_ms", "queue_depth",
+                 "freshness", "validity")
+
+    def __init__(self, time: float, uptime_s: float, contacts: int,
+                 queries: int, shed: int, p50_ms: float, p95_ms: float,
+                 p99_ms: float, queue_depth: int, freshness: float,
+                 validity: float) -> None:
+        self.time = time
+        self.uptime_s = uptime_s
+        self.contacts = contacts
+        self.queries = queries
+        self.shed = shed
+        self.p50_ms = p50_ms
+        self.p95_ms = p95_ms
+        self.p99_ms = p99_ms
+        self.queue_depth = queue_depth
+        self.freshness = freshness
+        self.validity = validity
+
+
 #: wire name -> record class, for JSONL reconstruction
 RECORD_TYPES: dict[str, Type[TraceRecord]] = {
     cls.kind: cls
@@ -489,7 +521,7 @@ RECORD_TYPES: dict[str, Type[TraceRecord]] = {
         QueryIssue, QueryHit, QueryMiss, QueryComplete,
         FaultMessageLoss, FaultTruncation, FaultCrash, FaultRecover,
         FaultLinkFlap, FaultOutage,
-        ModelPredictRecord, BuildPhaseRecord,
+        ModelPredictRecord, BuildPhaseRecord, ServiceSnapshot,
     )
 }
 

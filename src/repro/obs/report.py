@@ -121,6 +121,27 @@ def format_trace_report(records: Sequence[TraceRecord],
             columns=["metric", "predicted", "measured", "|error|"],
         )]
 
+    service_rows = [
+        {
+            "sim_time": round(record.time, 1),
+            "uptime_s": round(record.uptime_s, 2),
+            "contacts": record.contacts,
+            "queries": record.queries,
+            "shed": record.shed,
+            "p95_ms": round(record.p95_ms, 3),
+            "freshness": round(record.freshness, 4),
+            "validity": round(record.validity, 4),
+        }
+        for record in records
+        if record.kind == "service.snapshot"
+    ]
+    if service_rows:
+        lines += ["", format_table(
+            service_rows, title="live service snapshots",
+            columns=["sim_time", "uptime_s", "contacts", "queries",
+                     "shed", "p95_ms", "freshness", "validity"],
+        )]
+
     queries = summary["queries"]
     if queries["issued"]:
         lines += ["", format_table(

@@ -1,0 +1,61 @@
+"""Live service mode: streaming ingestion + online queries.
+
+The batch simulator answers "what freshness *did* a scheme achieve over
+this trace"; :mod:`repro.service` answers it *while the trace is still
+happening*.  A pipeline of asyncio handlers (contact source -> planner
+-> cache stage -> result builder) ingests contact events from a replay,
+a JSONL file tail, or a TCP stream, drives the exact scheme/refresh
+machinery of :func:`~repro.core.scheme.build_simulation` incrementally,
+and serves item queries plus freshness/metrics snapshots over HTTP.
+
+Correctness anchor: replaying a recorded trace at infinite
+time-dilation yields freshness/validity metrics identical to the batch
+run on the same (trace, scheme, seed) -- see
+:mod:`repro.service.runtime` and ``docs/SERVICE.md``.
+"""
+
+from repro.service.events import ContactEvent, MalformedEvent, QueryResult
+from repro.service.http import HttpApi
+from repro.service.pipeline import Handler, Pipeline
+from repro.service.runtime import (
+    LiveService,
+    build_live_service,
+    replay,
+    replay_scores,
+    scores_match,
+    service_from_settings,
+)
+from repro.service.sources import FileTailSource, ReplaySource, SocketSource
+
+
+def __getattr__(name: str):
+    # Lazy: ``python -m repro.service.loadgen`` imports this package
+    # first; an eager loadgen import here would shadow runpy's module
+    # execution (and numpy-heavy loadgen is not needed by the runtime).
+    if name in ("generate_load", "http_load", "run_loadgen"):
+        from repro.service import loadgen
+
+        return getattr(loadgen, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ContactEvent",
+    "FileTailSource",
+    "Handler",
+    "HttpApi",
+    "LiveService",
+    "MalformedEvent",
+    "Pipeline",
+    "QueryResult",
+    "ReplaySource",
+    "SocketSource",
+    "build_live_service",
+    "generate_load",
+    "http_load",
+    "replay",
+    "replay_scores",
+    "run_loadgen",
+    "scores_match",
+    "service_from_settings",
+]

@@ -1,0 +1,104 @@
+"""Wire format of the live-service ingest and query planes.
+
+Contact events travel as one JSON object per line (the same shape for
+the file-tail and TCP sources)::
+
+    {"a": 12, "b": 40, "start": 3600.0, "end": 3720.0}
+
+Times are simulation seconds, exactly as in a
+:class:`~repro.mobility.trace.Contact`.  Query answers are plain dicts
+(:meth:`QueryResult.as_dict`) so the HTTP layer can serialise them
+without knowing anything about stores.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+class MalformedEvent(ValueError):
+    """A stream line that cannot be parsed into a :class:`ContactEvent`."""
+
+
+@dataclass(frozen=True)
+class ContactEvent:
+    """One contact observation arriving from a stream."""
+
+    a: int
+    b: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise MalformedEvent(
+                f"contact ends before it starts: [{self.start}, {self.end}]"
+            )
+
+    @classmethod
+    def from_line(cls, line: str) -> "ContactEvent":
+        """Parse one JSONL line; raises :class:`MalformedEvent`."""
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise MalformedEvent(f"not JSON: {line[:80]!r}") from exc
+        if not isinstance(payload, dict):
+            raise MalformedEvent(f"expected an object, got {type(payload).__name__}")
+        try:
+            return cls(
+                a=int(payload["a"]),
+                b=int(payload["b"]),
+                start=float(payload["start"]),
+                end=float(payload["end"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, MalformedEvent):
+                raise
+            raise MalformedEvent(f"bad contact fields in {line[:80]!r}") from exc
+
+    def to_line(self) -> str:
+        return json.dumps(
+            {"a": self.a, "b": self.b, "start": self.start, "end": self.end}
+        )
+
+    @classmethod
+    def from_contacts(cls, contacts: Iterable) -> list["ContactEvent"]:
+        """Convert :class:`~repro.mobility.trace.Contact` objects (or any
+        objects with ``a/b/start/end``) into stream events."""
+        return [
+            cls(a=c.a, b=c.b, start=c.start, end=c.end) for c in contacts
+        ]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The service's answer to one item query.
+
+    ``hit`` means some online caching node held an entry; ``fresh`` and
+    ``valid`` judge the *best* such entry (highest version, then newest
+    version time) against the ground-truth version history at the
+    service's current simulation time.
+    """
+
+    item_id: int
+    sim_time: float
+    hit: bool
+    fresh: bool = False
+    valid: bool = False
+    version: Optional[int] = None
+    version_time: Optional[float] = None
+    served_by: Optional[int] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "item_id": self.item_id,
+            "sim_time": self.sim_time,
+            "hit": self.hit,
+            "fresh": self.fresh,
+            "valid": self.valid,
+            "version": self.version,
+            "version_time": self.version_time,
+            "served_by": self.served_by,
+        }

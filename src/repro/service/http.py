@@ -1,0 +1,188 @@
+"""Minimal HTTP/1.1 endpoint over a :class:`LiveService`.
+
+Stdlib-only (``asyncio.start_server`` + hand-rolled request parsing, no
+new dependencies), serving JSON:
+
+=====================  ====================================================
+path                    response
+=====================  ====================================================
+``/healthz``            ``{"ok": true}`` -- liveness probe
+``/status``             service progress summary (:meth:`LiveService.status`)
+``/metrics``            full :class:`MetricsRegistry` snapshot
+``/freshness``          the O(1) accountant snapshot alone
+``/query?item=N``       answer for item ``N`` (``503`` when shed,
+                        ``404`` for unknown items, ``400`` for bad input)
+=====================  ====================================================
+
+Connections are keep-alive (one parse loop per client) so a load
+generator can reuse sockets; ``Connection: close`` is honoured.
+Queries go through the service's bounded queue like every other query,
+so the HTTP plane inherits the same backpressure/shed behaviour.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from typing import TYPE_CHECKING, Optional
+from urllib.parse import parse_qs, urlsplit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.runtime import LiveService
+
+#: how long one queued query may wait for the worker before the
+#: connection gives up (overload guard; the query itself is not lost)
+QUERY_TIMEOUT_S = 10.0
+
+_MAX_REQUEST_LINE = 8192
+
+
+def _scrub(value):
+    """Replace NaN/inf so the payload is strict-JSON parseable."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _scrub(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_scrub(v) for v in value]
+    return value
+
+
+class HttpApi:
+    """Serve a :class:`LiveService` over HTTP."""
+
+    def __init__(
+        self,
+        service: "LiveService",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- request loop ------------------------------------------------------
+
+    async def _client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await reader.readline()
+                if not request or len(request) > _MAX_REQUEST_LINE:
+                    break
+                try:
+                    method, target, version = (
+                        request.decode("ascii").strip().split(" ", 2)
+                    )
+                except ValueError:
+                    await self._respond(writer, 400, {"error": "bad request"})
+                    break
+                close = version.upper().endswith("1.0")
+                # drain headers; we only care about Connection
+                while True:
+                    header = await reader.readline()
+                    if header in (b"\r\n", b"\n", b""):
+                        break
+                    if header.lower().startswith(b"connection:"):
+                        if b"close" in header.lower():
+                            close = True
+                        elif b"keep-alive" in header.lower():
+                            close = False
+                if method.upper() != "GET":
+                    await self._respond(
+                        writer, 405, {"error": "only GET is supported"},
+                        close=close,
+                    )
+                else:
+                    status, payload = await self._route(target)
+                    await self._respond(writer, status, payload, close=close)
+                if close:
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _route(self, target: str) -> tuple[int, dict]:
+        parts = urlsplit(target)
+        path = parts.path
+        service = self.service
+        if path == "/healthz":
+            return 200, {"ok": True}
+        if path == "/status":
+            return 200, service.status()
+        if path == "/metrics":
+            return 200, service.stats.snapshot(service.runtime.sim.now)
+        if path == "/freshness":
+            fresh, valid, total = service.runtime.freshness_snapshot()
+            return 200, {
+                "sim_time": service.runtime.sim.now,
+                "fresh": fresh,
+                "valid": valid,
+                "total": total,
+                "freshness": fresh / total if total else math.nan,
+                "validity": valid / total if total else math.nan,
+            }
+        if path == "/query":
+            params = parse_qs(parts.query)
+            raw = params.get("item", [None])[0]
+            if raw is None:
+                return 400, {"error": "missing ?item=<id>"}
+            try:
+                item_id = int(raw)
+            except ValueError:
+                return 400, {"error": f"item must be an integer, got {raw!r}"}
+            if item_id not in service.runtime.catalog:
+                return 404, {"error": f"unknown item {item_id}"}
+            future = service.submit_query(item_id)
+            if future is None:
+                return 503, {"error": "overloaded: query shed"}
+            try:
+                result = await asyncio.wait_for(future, timeout=QUERY_TIMEOUT_S)
+            except asyncio.TimeoutError:
+                return 503, {"error": "overloaded: query timed out"}
+            return 200, result.as_dict()
+        return 404, {"error": f"no route {path!r}"}
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        close: bool = False,
+    ) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   405: "Method Not Allowed", 503: "Service Unavailable"}
+        body = json.dumps(_scrub(payload)).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'Status')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        ).encode("ascii")
+        writer.write(head + body)
+        await writer.drain()

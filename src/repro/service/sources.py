@@ -1,0 +1,227 @@
+"""Contact-event sources for the live-service pipeline.
+
+Three ways contacts arrive:
+
+- :class:`ReplaySource` -- replay a recorded
+  :class:`~repro.mobility.trace.ContactTrace` at a configurable
+  *time-dilation* factor (simulation seconds per wall second;
+  ``float("inf")`` replays as fast as the pipeline can drain, which is
+  the replay-equivalence configuration);
+- :class:`FileTailSource` -- follow a JSONL file like ``tail -f``,
+  parsing one :class:`~repro.service.events.ContactEvent` per line;
+- :class:`SocketSource` -- accept TCP connections and read the same
+  line format off every client.
+
+All sources are async iterators yielding *batches* (lists) of events or
+raw lines; batching amortises queue and scheduling overhead at high
+event rates.  A shared :class:`asyncio.Event` (``stop``) makes every
+source interruptible for graceful shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from typing import AsyncIterator, Optional, Sequence
+
+from repro.service.events import ContactEvent
+
+#: how long tail/socket sources wait for more input before flushing a
+#: partial batch downstream
+_FLUSH_INTERVAL = 0.05
+
+
+class ReplaySource:
+    """Replay an in-memory contact sequence at a time-dilation factor.
+
+    ``dilation`` is simulation seconds per wall-clock second: ``60``
+    replays an hour of trace per wall minute, ``math.inf`` (default)
+    replays with no pacing at all.  Events are yielded in trace order,
+    chunked into ``batch_size`` lists.
+    """
+
+    def __init__(
+        self,
+        contacts: Sequence,
+        dilation: float = math.inf,
+        batch_size: int = 256,
+        stop: Optional[asyncio.Event] = None,
+    ) -> None:
+        if dilation <= 0:
+            raise ValueError("dilation must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.events = (
+            list(contacts)
+            if contacts and isinstance(contacts[0], ContactEvent)
+            else ContactEvent.from_contacts(contacts)
+        )
+        self.dilation = float(dilation)
+        self.batch_size = batch_size
+        self.stop = stop if stop is not None else asyncio.Event()
+
+    async def __aiter__(self) -> AsyncIterator[list[ContactEvent]]:
+        loop = asyncio.get_running_loop()
+        wall_start = loop.time()
+        paced = math.isfinite(self.dilation)
+        batch: list[ContactEvent] = []
+        for event in self.events:
+            if self.stop.is_set():
+                break
+            if paced:
+                due = wall_start + event.start / self.dilation
+                delay = due - loop.time()
+                if delay > 0:
+                    if batch:
+                        yield batch
+                        batch = []
+                    try:
+                        await asyncio.wait_for(
+                            self.stop.wait(), timeout=delay
+                        )
+                        break  # stop requested mid-sleep
+                    except asyncio.TimeoutError:
+                        pass  # slept until the event is due
+            batch.append(event)
+            if len(batch) >= self.batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+
+class FileTailSource:
+    """Follow a JSONL contact file, yielding batches of raw lines.
+
+    ``follow=True`` keeps polling for appended lines (like ``tail -f``)
+    until ``stop`` is set; ``follow=False`` stops at end-of-file, which
+    is the one-shot batch-ingest mode.
+    """
+
+    def __init__(
+        self,
+        path,
+        follow: bool = True,
+        poll_interval: float = 0.2,
+        batch_size: int = 256,
+        stop: Optional[asyncio.Event] = None,
+    ) -> None:
+        self.path = path
+        self.follow = follow
+        self.poll_interval = poll_interval
+        self.batch_size = batch_size
+        self.stop = stop if stop is not None else asyncio.Event()
+
+    async def __aiter__(self) -> AsyncIterator[list[str]]:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            batch: list[str] = []
+            buffer = ""
+            while not self.stop.is_set():
+                chunk = handle.read(65536)
+                if chunk:
+                    buffer += chunk
+                    lines = buffer.split("\n")
+                    buffer = lines.pop()  # hold a trailing partial line
+                    for line in lines:
+                        if line.strip():
+                            batch.append(line)
+                        if len(batch) >= self.batch_size:
+                            yield batch
+                            batch = []
+                    continue
+                if batch:
+                    yield batch
+                    batch = []
+                if not self.follow:
+                    break
+                try:
+                    await asyncio.wait_for(
+                        self.stop.wait(), timeout=self.poll_interval
+                    )
+                except asyncio.TimeoutError:
+                    pass
+            if buffer.strip():
+                yield [buffer]
+            elif batch:
+                yield batch
+
+
+class SocketSource:
+    """Accept TCP clients streaming JSONL contact lines.
+
+    Runs a stdlib asyncio server on ``host:port`` (``port=0`` picks a
+    free port, exposed as :attr:`port` once started).  Lines from all
+    clients are funnelled into one internal queue; the async iterator
+    yields them in batches until ``stop`` is set.  The internal queue is
+    bounded: when the pipeline falls behind, readers block on ``put``
+    and TCP flow control pushes back on the senders.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_size: int = 256,
+        queue_size: int = 4096,
+        stop: Optional[asyncio.Event] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.batch_size = batch_size
+        self.stop = stop if stop is not None else asyncio.Event()
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _client(self, reader: asyncio.StreamReader, writer) -> None:
+        try:
+            while not self.stop.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if text:
+                    await self._queue.put(text)
+        finally:
+            writer.close()
+
+    async def __aiter__(self) -> AsyncIterator[list[str]]:
+        if self._server is None:
+            await self.start()
+        try:
+            while not self.stop.is_set():
+                try:
+                    first = await asyncio.wait_for(
+                        self._queue.get(), timeout=_FLUSH_INTERVAL
+                    )
+                except asyncio.TimeoutError:
+                    continue
+                batch = [first]
+                while len(batch) < self.batch_size:
+                    try:
+                        batch.append(self._queue.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+                yield batch
+            # drain whatever arrived before the stop signal
+            tail: list[str] = []
+            while True:
+                try:
+                    tail.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            if tail:
+                yield tail
+        finally:
+            await self.close()

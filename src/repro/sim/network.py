@@ -193,6 +193,36 @@ class ContactNetwork:
         self.sim.schedule_batch(entries)
         self.stats.counter("net.contacts_scheduled").add(len(entries) // 2)
 
+    def schedule_contact(self, a: int, b: int, start: float, end: float) -> bool:
+        """Schedule one future contact at runtime (streaming ingestion).
+
+        The live-service pipeline feeds contacts one at a time as they
+        arrive from a stream, instead of front-loading the whole trace
+        at construction.  The two events use the same callbacks and
+        priorities as :meth:`_schedule_trace`, so a streamed contact is
+        indistinguishable from a pre-scheduled one once it is on the
+        heap.  Contacts touching unknown nodes are skipped (returns
+        ``False``), mirroring the batch path's filter.
+
+        The caller must not have advanced the clock past ``start``
+        (``schedule_at`` raises otherwise) -- the service runtime's
+        watermark discipline guarantees that.
+        """
+        if a not in self.nodes or b not in self.nodes:
+            return False
+        if end < start:
+            raise ValueError(f"contact ends before it starts: [{start}, {end}]")
+        self.sim.schedule_at(
+            float(start), self._contact_start, a, b, float(end) - float(start),
+            priority=_PRIORITY_CONTACT_START,
+        )
+        self.sim.schedule_at(
+            float(end), self._contact_end, a, b,
+            priority=_PRIORITY_CONTACT_END,
+        )
+        self.stats.counter("net.contacts_scheduled").add(1)
+        return True
+
     def start(self) -> None:
         """Fire every node's ``on_start`` hooks (idempotent)."""
         if self._started:

@@ -13,6 +13,26 @@ from typing import Sequence
 
 import numpy as np
 
+# Normalisation constants depend only on (number of items, exponent),
+# not on the item ids themselves, so every ZipfPopularity over the same
+# shape can share one frozen (pmf, cdf) pair.  The live-service load
+# generator constructs popularity objects in its hot path; without the
+# cache each construction is an O(n) power + cumsum.
+_NORMALISATION_CACHE: dict[tuple[int, float], tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _normalisation(n: int, s: float) -> tuple[np.ndarray, np.ndarray]:
+    key = (n, s)
+    cached = _NORMALISATION_CACHE.get(key)
+    if cached is None:
+        weights = np.arange(1, n + 1, dtype=float) ** (-s)
+        pmf = weights / weights.sum()
+        cdf = np.cumsum(pmf)
+        pmf.flags.writeable = False
+        cdf.flags.writeable = False
+        cached = _NORMALISATION_CACHE[key] = (pmf, cdf)
+    return cached
+
 
 class ZipfPopularity:
     """Zipf-distributed popularity over a fixed set of item ids.
@@ -28,9 +48,8 @@ class ZipfPopularity:
             raise ValueError("Zipf exponent must be non-negative")
         self.item_ids = [int(i) for i in item_ids]
         self.s = float(s)
-        weights = np.arange(1, len(self.item_ids) + 1, dtype=float) ** (-self.s)
-        self._pmf = weights / weights.sum()
-        self._cdf = np.cumsum(self._pmf)
+        self._pmf, self._cdf = _normalisation(len(self.item_ids), self.s)
+        self._ids_array = np.asarray(self.item_ids, dtype=np.int64)
 
     def pmf(self) -> np.ndarray:
         """Probability of each item, in rank order."""
@@ -41,12 +60,16 @@ class ZipfPopularity:
         index = int(np.searchsorted(self._cdf, rng.random(), side="right"))
         return self.item_ids[min(index, len(self.item_ids) - 1)]
 
-    def sample_many(self, count: int, rng: np.random.Generator) -> list[int]:
-        """Draw ``count`` item ids."""
+    def sample_array(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` item ids as an int64 array (hot path)."""
         draws = rng.random(count)
         indexes = np.searchsorted(self._cdf, draws, side="right")
-        last = len(self.item_ids) - 1
-        return [self.item_ids[min(int(i), last)] for i in indexes]
+        np.minimum(indexes, len(self.item_ids) - 1, out=indexes)
+        return self._ids_array[indexes]
+
+    def sample_many(self, count: int, rng: np.random.Generator) -> list[int]:
+        """Draw ``count`` item ids."""
+        return [int(i) for i in self.sample_array(count, rng)]
 
 
 class UniformPopularity(ZipfPopularity):

@@ -56,8 +56,8 @@ def schedule_queries(
         if count == 0:
             continue
         times = np.sort(rng.random(count)) * duration + start
-        items = popularity.sample_many(count, rng)
-        for time, item_id in zip(times, items):
-            runtime.sim.schedule_at(float(time), manager.issue_query, int(item_id))
+        items = popularity.sample_array(count, rng)
+        for time, item_id in zip(times.tolist(), items.tolist()):
+            runtime.sim.schedule_at(time, manager.issue_query, item_id)
             scheduled += 1
     return scheduled

@@ -38,6 +38,46 @@ class TestZipfPopularity:
             ZipfPopularity([0], s=-1.0)
 
 
+class TestZipfNormalisationCache:
+    def test_same_shape_shares_arrays(self):
+        a = ZipfPopularity([0, 1, 2, 3], s=0.8)
+        b = ZipfPopularity([9, 8, 7, 6], s=0.8)
+        assert a._cdf is b._cdf
+        assert a._pmf is b._pmf
+
+    def test_different_exponent_not_shared(self):
+        a = ZipfPopularity([0, 1, 2], s=0.8)
+        b = ZipfPopularity([0, 1, 2], s=1.2)
+        assert a._cdf is not b._cdf
+
+    def test_cached_arrays_are_frozen(self):
+        pop = ZipfPopularity([0, 1, 2], s=0.8)
+        with pytest.raises(ValueError):
+            pop._cdf[0] = 0.5
+        # pmf() hands out a copy, so callers can't corrupt the cache
+        pop.pmf()[0] = 0.5
+        assert ZipfPopularity([0, 1, 2], s=0.8).pmf()[0] != 0.5
+
+    def test_draws_bit_identical_to_uncached_maths(self):
+        ids = [5, 6, 7, 8]
+        pop = ZipfPopularity(ids, s=0.9)
+        weights = np.arange(1, len(ids) + 1, dtype=float) ** (-0.9)
+        cdf = np.cumsum(weights / weights.sum())
+        got = pop.sample_array(1000, np.random.default_rng(42))
+        draws = np.random.default_rng(42).random(1000)
+        indexes = np.searchsorted(cdf, draws, side="right")
+        np.minimum(indexes, len(ids) - 1, out=indexes)
+        expected = np.asarray(ids, dtype=np.int64)[indexes]
+        assert np.array_equal(got, expected)
+
+    def test_sample_many_matches_sample_array(self):
+        pop = ZipfPopularity([0, 1, 2], s=0.8)
+        listed = pop.sample_many(200, np.random.default_rng(7))
+        arrayed = pop.sample_array(200, np.random.default_rng(7))
+        assert listed == [int(i) for i in arrayed]
+        assert all(isinstance(i, int) for i in listed)
+
+
 class TestScheduleQueries:
     @pytest.fixture
     def runtime(self):
