@@ -348,14 +348,63 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_supervised(args: argparse.Namespace) -> int:
+    """Supervise a child ``repro serve`` (same flags minus
+    ``--supervised``, plus ``--resume``) that restarts from checkpoints."""
+    from pathlib import Path
+
+    from repro.service.supervisor import (
+        RESTART_LOG,
+        CrashLoop,
+        RestartPolicy,
+        Supervisor,
+    )
+
+    if not args.checkpoint:
+        print("error: --supervised needs --checkpoint DIR "
+              "(restarts resume from checkpoints)")
+        return 2
+    child_args = [a for a in sys.argv[1:] if a != "--supervised"]
+    if "--resume" not in child_args:
+        child_args.append("--resume")
+    command = [sys.executable, "-m", "repro.cli", *child_args]
+    policy = RestartPolicy(max_restarts=args.max_restarts,
+                           min_healthy_s=args.min_healthy)
+    supervisor = Supervisor(
+        command, policy=policy,
+        log_path=Path(args.checkpoint) / RESTART_LOG,
+    )
+    print(f"supervising: {' '.join(child_args)} "
+          f"(max {policy.max_restarts} consecutive crashes)")
+    try:
+        code = supervisor.run()
+    except CrashLoop as exc:
+        print(f"error: {exc}")
+        return 1
+    if supervisor.restarts:
+        print(f"supervisor: {supervisor.restarts} restart(s), "
+              f"log in {supervisor.log_path}")
+    return code
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import math
+    import os
     import signal
+    from pathlib import Path
 
     from repro.experiments.config import DAY, Settings
     from repro.service import FileTailSource, HttpApi, ReplaySource, SocketSource
+    from repro.service.durability import (
+        SPEC_FILE,
+        BuildSpec,
+        restore_service_async,
+    )
     from repro.service.runtime import service_from_settings
+
+    if args.supervised:
+        return _cmd_serve_supervised(args)
 
     dilation = float(args.dilation)
     if dilation <= 0:
@@ -364,6 +413,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.source == "tail" and not args.file:
         print("error: --source tail needs --file CONTACTS.jsonl")
         return 2
+    if args.resume and not args.checkpoint:
+        print("error: --resume needs --checkpoint DIR")
+        return 2
+    fault_plan = None
+    if args.faults:
+        fault_plan = _load_fault_plan_or_complain(args.faults)
+        if fault_plan is None:
+            return 2
+        if not fault_plan.has_stream_faults():
+            print(f"note: {args.faults} has no [stream] faults; "
+                  "the ingest feed runs clean")
+            fault_plan = None
     bus = None
     if args.trace:
         from repro.obs.bus import EventBus
@@ -374,17 +435,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         duration=args.days * DAY,
         seeds=(args.seed,),
     )
-    service, trace = service_from_settings(
-        settings,
-        seed=args.seed,
-        scheme=args.scheme,
-        contact_queue=args.contact_queue,
-        query_queue=args.query_queue,
-        serve_rate=args.serve_rate,
-        bus=bus,
+    ckpt_dir = Path(args.checkpoint) if args.checkpoint else None
+    resume = (
+        args.resume
+        and ckpt_dir is not None
+        and (ckpt_dir / SPEC_FILE).exists()
     )
+    if args.resume and not resume:
+        print(f"note: no checkpoint in {ckpt_dir}; starting fresh")
+
+    service = None
+    trace = None
+    resume_cursor = None
+    if not resume:
+        service, trace = service_from_settings(
+            settings,
+            seed=args.seed,
+            scheme=args.scheme,
+            contact_queue=args.contact_queue,
+            query_queue=args.query_queue,
+            serve_rate=args.serve_rate,
+            bus=bus,
+        )
+        if ckpt_dir is not None:
+            spec = BuildSpec.from_settings(
+                settings,
+                seed=args.seed,
+                scheme=args.scheme,
+                contact_queue=args.contact_queue,
+                query_queue=args.query_queue,
+                serve_rate=args.serve_rate,
+            )
+            service.enable_checkpointing(
+                ckpt_dir, spec=spec, interval_s=args.checkpoint_interval
+            )
+
+    def _arm_crash_hook() -> None:
+        # test hook: REPRO_SERVE_CRASH_AT=N kills the process the first
+        # time the checkpointer commits >= N journal records (a flag
+        # file makes it once per checkpoint dir, so a supervised
+        # restart does not crash again)
+        crash_at = os.environ.get("REPRO_SERVE_CRASH_AT")
+        if not crash_at or service.checkpointer is None:
+            return
+        threshold = int(crash_at)
+        flag = ckpt_dir / "crashed.flag"
+        checkpointer = service.checkpointer
+        original = checkpointer.note_commit
+
+        def crashing_note(commit: int) -> None:
+            original(commit)
+            if commit >= threshold and not flag.exists():
+                flag.write_text("crashed\n", encoding="utf-8")
+                os._exit(17)
+
+        checkpointer.note_commit = crashing_note
 
     async def _serve() -> None:
+        nonlocal service, trace, resume_cursor
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -392,23 +500,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 loop.add_signal_handler(signum, stop.set)
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass
+        api = None
+
+        async def _start_api(svc) -> None:
+            nonlocal api
+            if args.http != "off":
+                host, _, port = args.http.partition(":")
+                api = HttpApi(svc, host or "127.0.0.1", int(port or 0))
+                await api.start()
+                print(f"serving queries on {api.url} "
+                      "(/healthz /status /metrics /freshness /query?item=N)")
+
+        if resume:
+            restored = await restore_service_async(
+                ckpt_dir,
+                interval_s=(args.checkpoint_interval
+                            if args.checkpoint_interval is not None
+                            else 5.0),
+                on_built=_start_api,
+                bus=bus,
+            )
+            service, trace = restored.service, restored.trace
+            resume_cursor = restored.cursor
+            print(f"resumed from {ckpt_dir}: {restored.records} journal "
+                  f"records, watermark {service.watermark:,.0f}s"
+                  f"{' (digest verified)' if restored.verified else ''}")
+        else:
+            await _start_api(service)
+        _arm_crash_hook()
+        cursor = resume_cursor or 0
         if args.source == "replay":
-            source = ReplaySource(trace, dilation=dilation, stop=stop)
+            from repro.service.events import ContactEvent
+
+            events = ContactEvent.from_contacts(trace)
+            pace_from = (
+                events[cursor].start if 0 < cursor < len(events) else 0.0
+            )
+            source = ReplaySource(events, dilation=dilation, stop=stop,
+                                  start_at=min(cursor, len(events)),
+                                  pace_from=pace_from)
         elif args.source == "tail":
-            source = FileTailSource(args.file, stop=stop)
+            source = FileTailSource(args.file, stop=stop,
+                                    start_offset=cursor)
         else:
             host, _, port = args.listen.partition(":")
             source = SocketSource(host or "127.0.0.1",
-                                  int(port or 0), stop=stop)
+                                  int(port or 0), stop=stop,
+                                  registry=service.stats, bus=bus)
             await source.start()
             print(f"ingesting contacts on tcp://{source.host}:{source.port}")
-        api = None
-        if args.http != "off":
-            host, _, port = args.http.partition(":")
-            api = HttpApi(service, host or "127.0.0.1", int(port or 0))
-            await api.start()
-            print(f"serving queries on {api.url} "
-                  "(/healthz /status /metrics /freshness /query?item=N)")
+        if fault_plan is not None:
+            from repro.faults.stream import StreamFaultInjector
+
+            source = StreamFaultInjector(source, fault_plan, args.seed,
+                                         registry=service.stats, bus=bus)
         if args.wall_limit is not None:
             loop.call_later(args.wall_limit, stop.set)
         try:
@@ -422,6 +567,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 service.finish()
         finally:
             await service.stop()
+            if service.checkpointer is not None:
+                service.checkpointer.close()
             if api is not None:
                 await api.stop()
 
@@ -433,18 +580,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     contacts = status["contacts"]
     queries = status["queries"]
     freshness = status["freshness"]
+    counters = service.stats.counters()
     print(f"sim time          : {status['sim_time']:,.0f}s "
           f"of {status['horizon']:,.0f}s")
     print(f"contacts ingested : {contacts['ingested']:.0f} "
           f"(late {contacts['shed_late']:.0f}, "
           f"unknown {contacts['shed_unknown']:.0f}, "
           f"malformed {contacts['malformed']:.0f})")
+    rejected = counters.get("service.events.rejected", 0)
+    if rejected:
+        print(f"stream rejects    : {rejected:.0f} malformed line(s) "
+              f"quarantined in {ckpt_dir}")
     print(f"queries           : served {queries['served']:.0f}, "
           f"shed {queries['shed']:.0f} "
           f"(p50 {queries['p50_ms']:.3f} ms, p95 {queries['p95_ms']:.3f} ms)")
     print(f"freshness         : {freshness['freshness']:.4f}, "
           f"validity {freshness['validity']:.4f} "
           f"({freshness['fresh']}/{freshness['total']} slots fresh)")
+    if ckpt_dir is not None:
+        written = counters.get("service.checkpoint.written", 0)
+        journal = service.checkpointer.journal if service.checkpointer else None
+        print(f"checkpoints       : {written:.0f} manifest(s) in {ckpt_dir}"
+              + (f", journal {journal.records} records"
+                 f" ({journal.bytes_written:,d} bytes)"
+                 if journal is not None else ""))
     if service.runtime.sim.now >= service.horizon and not math.isnan(
         freshness["freshness"]
     ):
@@ -452,6 +611,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"final score       : freshness {score['freshness']:.4f}, "
               f"validity {score['validity']:.4f}, "
               f"messages {score['messages']:.0f}")
+        if args.score_json:
+            import json as _json
+
+            Path(args.score_json).write_text(
+                _json.dumps(score, indent=2) + "\n", encoding="utf-8"
+            )
+            print(f"score written to  : {args.score_json}")
     if bus is not None:
         from repro.obs.export import write_jsonl
 
@@ -557,6 +723,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"shed {overload['shed']}, peak RSS "
               f"{overload['peak_rss_mb']:.0f} MB "
               f"(ceiling {service['rss_ceiling_mb']:.0f} MB)")
+    durability = service.get("durability")
+    if durability is not None:
+        print(f"            durability: killed={durability['killed']}, "
+              f"resume identical={durability['resume_identical']} "
+              f"in {durability['resume_seconds']:.1f}s, durable replay "
+              f"{durability['durable_replay_seconds']:.1f}s "
+              f"({durability['checkpoint_overhead_pct']:+.1f}% vs plain)")
     print(f"wrote {args.output}")
     status = 0
     if args.check_baseline is not None:
@@ -606,6 +779,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not report["service"]["overload_ok"]:
         print("FAIL: service overload run unhealthy (no sheds, no "
               "completions, or peak RSS over the ceiling)")
+        status = 1
+    durability = report["service"].get("durability", {})
+    if not (durability.get("killed")
+            and durability.get("resume_identical")
+            and durability.get("durable_identical")):
+        print("FAIL: kill/resume equivalence broken (a SIGKILLed run "
+              "resumed from its checkpoint must match the batch run)")
         status = 1
     return status
 
@@ -792,6 +972,34 @@ def build_parser() -> argparse.ArgumentParser:
                               "automatically when the stream completes)")
     serve_parser.add_argument("--trace", metavar="FILE", default=None,
                               help="write service.snapshot JSONL records")
+    serve_parser.add_argument("--checkpoint", metavar="DIR", default=None,
+                              help="journal the ingest stream and write "
+                              "periodic crash-safe checkpoints into DIR")
+    serve_parser.add_argument("--checkpoint-interval", type=float,
+                              metavar="SECONDS", default=None,
+                              help="wall seconds between checkpoint "
+                              "manifests (default 5)")
+    serve_parser.add_argument("--resume", action="store_true",
+                              help="restore from the latest checkpoint in "
+                              "--checkpoint DIR before serving (falls back "
+                              "to a fresh start when DIR is empty)")
+    serve_parser.add_argument("--supervised", action="store_true",
+                              help="run the service as a supervised child, "
+                              "restarting it from checkpoints on crashes "
+                              "(requires --checkpoint)")
+    serve_parser.add_argument("--max-restarts", type=int, default=5,
+                              help="supervised: consecutive crashes before "
+                              "the circuit breaker gives up")
+    serve_parser.add_argument("--min-healthy", type=float, metavar="SECONDS",
+                              default=5.0,
+                              help="supervised: uptime that resets the "
+                              "consecutive-crash counter")
+    serve_parser.add_argument("--faults", metavar="PLAN.toml", default=None,
+                              help="inject [stream] faults from a fault "
+                              "plan into the ingest feed")
+    serve_parser.add_argument("--score-json", metavar="FILE", default=None,
+                              help="write the final score as JSON when the "
+                              "run reaches the horizon")
 
     loadgen_parser = sub.add_parser(
         "loadgen",

@@ -706,9 +706,20 @@ def service_benchmark(quick: bool = False) -> dict:
     queue: sheds are deterministic regardless of host speed, and peak
     RSS (a process-lifetime high-water mark) is attributable to the
     overloaded service alone.
+
+    Phase four exercises the durability layer end to end: a
+    checkpointed ``repro serve`` subprocess is killed mid-replay
+    (``REPRO_SERVE_CRASH_AT`` fires ``os._exit`` with no cleanup, the
+    moral equivalent of SIGKILL), a second subprocess resumes from the
+    checkpoint directory and runs to the horizon, and the resumed score
+    must be ``same_as``-identical to the batch run -- the
+    kill/resume-equivalence hard gate.  A durable in-process replay
+    (journal + manifests on) is also timed against the plain replay of
+    phase one to report checkpoint overhead.
     """
     import subprocess
     import sys
+    import tempfile
     from pathlib import Path
 
     import repro
@@ -758,6 +769,54 @@ def service_benchmark(quick: bool = False) -> dict:
         overload = json.loads(proc.stdout)
         overload.pop("profile", None)
 
+    days = str(2 if quick else 3)
+    serve_cmd = [sys.executable, "-m", "repro.cli", "serve",
+                 "--days", days, "--seed", str(seed),
+                 "--profile", "small", "--http", "off"]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-") as tmp:
+        ckpt = str(Path(tmp) / "ckpt")
+        score_path = Path(tmp) / "score.json"
+        crash_env = dict(env)
+        crash_env["REPRO_SERVE_CRASH_AT"] = "256"
+        crash = subprocess.run(
+            serve_cmd + ["--checkpoint", ckpt, "--checkpoint-interval", "0"],
+            capture_output=True, text=True, env=crash_env,
+        )
+        start = time.perf_counter()
+        resume = subprocess.run(
+            serve_cmd + ["--checkpoint", ckpt, "--resume",
+                         "--score-json", str(score_path)],
+            capture_output=True, text=True, env=env,
+        )
+        resume_seconds = time.perf_counter() - start
+        resumed_score = (
+            json.loads(score_path.read_text(encoding="utf-8"))
+            if score_path.exists() else None
+        )
+        start = time.perf_counter()
+        durable_score = replay_scores(
+            settings, seed=seed, scheme="hdr",
+            checkpoint=str(Path(tmp) / "inproc"),
+        )
+        durable_seconds = time.perf_counter() - start
+    durability = {
+        "killed": crash.returncode == 17,
+        "resume_returncode": resume.returncode,
+        "resume_seconds": round(resume_seconds, 3),
+        "resume_identical": (
+            resumed_score is not None and scores_match(resumed_score, batch)
+        ),
+        "durable_replay_seconds": round(durable_seconds, 3),
+        "durable_identical": scores_match(durable_score, batch),
+        "checkpoint_overhead_pct": round(
+            (durable_seconds / replay_seconds - 1.0) * 100.0, 1
+        ) if replay_seconds > 0 else float("nan"),
+    }
+    if not durability["killed"]:
+        durability["crash_stderr"] = (crash.stderr or "").strip()[-500:]
+    if resume.returncode != 0:
+        durability["resume_stderr"] = (resume.stderr or "").strip()[-500:]
+
     qps = throughput.get("achieved_qps", 0.0)
     return {
         "scheme": "hdr",
@@ -767,6 +826,7 @@ def service_benchmark(quick: bool = False) -> dict:
         "replay_seconds": round(replay_seconds, 3),
         "throughput": throughput,
         "overload": overload,
+        "durability": durability,
         "qps_floor": SERVICE_MIN_QPS,
         "qps_ok": qps >= SERVICE_MIN_QPS,
         "rss_ceiling_mb": SERVICE_RSS_CEILING_MB,
@@ -787,11 +847,15 @@ def check_service_regression(
 
     Fails when the replay diverged from the batch run, when sustained
     throughput fell under :data:`SERVICE_MIN_QPS`, when the overload
-    subprocess failed to shed (or blew the RSS ceiling), or when p95
-    query latency exceeded both ``baseline * (1 + threshold)`` and the
-    absolute :data:`SERVICE_P95_GRACE_MS` grace.  A baseline without a
-    ``service`` section passes the latency comparison (nothing to
-    regress against), exactly like the other checks.
+    subprocess failed to shed (or blew the RSS ceiling), when the
+    durability phase broke kill/resume equivalence (the killed-and-
+    resumed run must be ``same_as``-identical to the batch run), or
+    when p95 query latency exceeded both ``baseline * (1 + threshold)``
+    and the absolute :data:`SERVICE_P95_GRACE_MS` grace.  A baseline
+    without a ``service`` section passes the latency comparison
+    (nothing to regress against), exactly like the other checks; the
+    durability gate reads only the *current* report, so older baselines
+    without the key stay usable.
     """
     service = report.get("service", {})
     throughput = service.get("throughput", {})
@@ -813,6 +877,24 @@ def check_service_regression(
             f"{overload.get('peak_rss_mb', float('nan')):.0f} MB vs "
             f"{service.get('rss_ceiling_mb'):.0f} MB ceiling)"
         )
+    durability = service.get("durability")
+    if durability is not None:
+        if not durability.get("killed"):
+            problems.append(
+                "durability crash subprocess did not die as expected: "
+                + durability.get("crash_stderr", "no stderr")[-200:]
+            )
+        elif not durability.get("resume_identical"):
+            problems.append(
+                "kill/resume equivalence broken: resumed score != batch "
+                f"run (resume exit {durability.get('resume_returncode')}: "
+                + durability.get("resume_stderr", "")[-200:] + ")"
+            )
+        if not durability.get("durable_identical"):
+            problems.append(
+                "durable replay (journal + manifests on) diverged from "
+                "the batch run"
+            )
     try:
         with open(baseline_path, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
@@ -839,6 +921,12 @@ def check_service_regression(
         f"overload shed {overload.get('shed')} at "
         f"{overload.get('peak_rss_mb', float('nan')):.0f} MB, {p95_note}"
     )
+    if durability is not None:
+        message += (
+            ", kill/resume identical "
+            f"(+{durability.get('checkpoint_overhead_pct', float('nan'))}% "
+            "checkpoint overhead)"
+        )
     return True, message
 
 

@@ -27,6 +27,17 @@ from repro.faults.plan import (
     plan_from_dict,
 )
 
+
+def __getattr__(name: str):
+    # Lazy: the stream injector pulls in the whole service package,
+    # which batch-only users of repro.faults never need.
+    if name == "StreamFaultInjector":
+        from repro.faults.stream import StreamFaultInjector
+
+        return StreamFaultInjector
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "DEFAULT_SEED_SALT",
     "CrashProcess",
@@ -34,6 +45,7 @@ __all__ = [
     "FaultPlan",
     "InstalledFaults",
     "OutageProcess",
+    "StreamFaultInjector",
     "install_faults",
     "load_plan",
     "plan_from_dict",

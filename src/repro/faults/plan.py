@@ -42,6 +42,20 @@ Plans load from TOML (:func:`load_plan`)::
     [sources]
     outage_rate_per_day = 0.25  # per-source outage rate
     mean_outage_s = 7200.0
+
+    [stream]                    # live-service ingest faults only
+    malformed_rate = 0.01       # lines replaced with garbage
+    duplicate_rate = 0.01       # events delivered twice
+    reorder_rate = 0.01         # events swapped with a neighbour
+    skew_rate = 0.01            # events with skewed timestamps
+    skew_max_s = 120.0
+    disconnect_rate_per_day = 2.0   # feed-pause windows
+    mean_disconnect_s = 600.0
+
+The ``[stream]`` section only affects the live service's ingest path
+(:class:`repro.faults.stream.StreamFaultInjector`); batch runs ignore it
+entirely, so a plan carrying only stream faults keeps batch output
+bit-identical (:meth:`FaultPlan.is_null` stays true).
 """
 
 from __future__ import annotations
@@ -98,6 +112,23 @@ class FaultPlan:
     #: mean outage window length, seconds
     mean_outage_s: float = 7200.0
 
+    # -- streaming ingest faults (live service only) ----------------------
+    #: probability a stream line is replaced with garbage bytes
+    stream_malformed_rate: float = 0.0
+    #: probability a stream event is delivered twice
+    stream_duplicate_rate: float = 0.0
+    #: probability a stream event is swapped with its successor
+    stream_reorder_rate: float = 0.0
+    #: probability a stream event's timestamps are skewed
+    stream_skew_rate: float = 0.0
+    #: maximum clock skew applied to a skewed event, seconds
+    stream_skew_max_s: float = 60.0
+    #: feed-disconnect window rate in 1/day of stream (sim) time
+    stream_disconnect_rate_per_day: float = 0.0
+    #: mean disconnect window length, seconds (events inside a window
+    #: are buffered and arrive in a late burst, like a reconnect)
+    stream_mean_disconnect_s: float = 600.0
+
     #: salt mixed with the run seed for the dedicated fault RNG stream
     seed_salt: int = DEFAULT_SEED_SALT
 
@@ -149,9 +180,33 @@ class FaultPlan:
             raise ValueError(
                 f"mean_outage_s must be positive, got {self.mean_outage_s}"
             )
+        for name in ("stream_malformed_rate", "stream_duplicate_rate",
+                     "stream_reorder_rate", "stream_skew_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if not self.stream_skew_max_s >= 0:
+            raise ValueError(
+                f"stream_skew_max_s must be >= 0, got {self.stream_skew_max_s}"
+            )
+        if self.stream_disconnect_rate_per_day < 0 or not math.isfinite(
+            self.stream_disconnect_rate_per_day
+        ):
+            raise ValueError(
+                f"stream_disconnect_rate_per_day must be a finite "
+                f"non-negative number, got {self.stream_disconnect_rate_per_day}"
+            )
+        if not self.stream_mean_disconnect_s > 0:
+            raise ValueError(
+                f"stream_mean_disconnect_s must be positive, "
+                f"got {self.stream_mean_disconnect_s}"
+            )
 
     def is_null(self) -> bool:
-        """True when the plan injects nothing (baseline stays bit-identical)."""
+        """True when the plan injects nothing into a *batch* run
+        (baseline stays bit-identical).  Stream-only faults do not
+        count: they never touch the batch path.
+        """
         return (
             self.loss_rate == 0.0
             and self.bandwidth_bps is None
@@ -159,6 +214,16 @@ class FaultPlan:
             and self.flap_rate == 0.0
             and self.degrade_factor == 1.0
             and self.outage_rate_per_day == 0.0
+        )
+
+    def has_stream_faults(self) -> bool:
+        """Whether the live service's ingest path should be perturbed."""
+        return (
+            self.stream_malformed_rate > 0.0
+            or self.stream_duplicate_rate > 0.0
+            or self.stream_reorder_rate > 0.0
+            or self.stream_skew_rate > 0.0
+            or self.stream_disconnect_rate_per_day > 0.0
         )
 
     @property
@@ -189,6 +254,13 @@ _TOML_KEYS: dict[tuple[str, str], str] = {
     ("links", "degrade_factor"): "degrade_factor",
     ("sources", "outage_rate_per_day"): "outage_rate_per_day",
     ("sources", "mean_outage_s"): "mean_outage_s",
+    ("stream", "malformed_rate"): "stream_malformed_rate",
+    ("stream", "duplicate_rate"): "stream_duplicate_rate",
+    ("stream", "reorder_rate"): "stream_reorder_rate",
+    ("stream", "skew_rate"): "stream_skew_rate",
+    ("stream", "skew_max_s"): "stream_skew_max_s",
+    ("stream", "disconnect_rate_per_day"): "stream_disconnect_rate_per_day",
+    ("stream", "mean_disconnect_s"): "stream_mean_disconnect_s",
     ("plan", "seed_salt"): "seed_salt",
 }
 

@@ -1,0 +1,214 @@
+"""Deterministic fault injection for the live service's ingest feed.
+
+:class:`StreamFaultInjector` wraps any async batch source
+(:mod:`repro.service.sources`) and perturbs the stream the way a real
+opportunistic feed misbehaves:
+
+- **malformed** -- a line is replaced with garbage bytes (exercises the
+  quarantine path);
+- **duplicate** -- an event is delivered twice (the watermark
+  discipline sheds the copy as late);
+- **reorder** -- an event is swapped with its successor (the earlier
+  one then arrives behind the watermark);
+- **skew** -- an event's timestamps are shifted by a bounded uniform
+  clock error;
+- **disconnect** -- the feed pauses for a window: events inside it are
+  buffered and arrive in one late burst, like a peer reconnecting and
+  flushing its backlog.
+
+Same determinism contract as the batch injectors: every decision comes
+from ``default_rng([plan.seed_salt ^ _STREAM_SALT_MIX, seed])``, so a
+``(plan, seed)`` pair perturbs the stream identically on every run.
+The injector sits *upstream* of the durability layer's journal, so a
+checkpointed run journals the post-fault stream -- recovery replays
+exactly what the service actually saw, and kill/resume equivalence
+holds even under stream faults.
+
+Note the faulted stream is a different input than the clean trace, so a
+faulted run's scores legitimately differ from the batch baseline; what
+must (and does) stay invariant is crash/resume equivalence *given* the
+faulted stream.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.obs.records import FaultStream
+from repro.service.events import ContactEvent, MalformedEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
+
+#: mixed into ``plan.seed_salt`` so the stream RNG never collides with
+#: the batch fault stream of the same plan + seed
+_STREAM_SALT_MIX = 0x57EA
+
+DAY = 86400.0
+
+_ACTIONS = ("malformed", "duplicate", "reorder", "skew", "disconnect")
+
+
+class StreamFaultInjector:
+    """Async-iterable wrapper perturbing batches from an inner source.
+
+    Yields batches of :class:`ContactEvent` / raw-line items, the same
+    shapes the pipeline's planner accepts.  Per-action tallies live in
+    :attr:`counts` and (when a registry is given) in
+    ``service.faults.<action>`` counters; each batch that was perturbed
+    emits one ``fault.stream`` record per action when a bus is wired.
+    """
+
+    def __init__(self, inner, plan: "FaultPlan", seed: int,
+                 registry=None, bus=None) -> None:
+        if not plan.has_stream_faults():
+            raise ValueError(
+                "plan has no stream faults; wrap nothing instead "
+                "(has_stream_faults() is false)"
+            )
+        self.inner = inner
+        self.plan = plan
+        self.bus = bus
+        self.rng = np.random.default_rng(
+            [(plan.seed_salt ^ _STREAM_SALT_MIX) & 0xFFFFFFFF, int(seed)]
+        )
+        self.counts = {action: 0 for action in _ACTIONS}
+        self._counters = (
+            {action: registry.counter(f"service.faults.{action}")
+             for action in _ACTIONS}
+            if registry is not None else None
+        )
+        # next disconnect window, in stream (event-timestamp) time
+        rate = plan.stream_disconnect_rate_per_day / DAY
+        self._next_disconnect = (
+            float(self.rng.exponential(1.0 / rate)) if rate > 0
+            else float("inf")
+        )
+        self._window_end: Optional[float] = None
+        self._held: list = []
+
+    def cursor(self):
+        """Pass the inner source's cursor through (resume still works)."""
+        inner_cursor = getattr(self.inner, "cursor", None)
+        return inner_cursor() if inner_cursor is not None else None
+
+    def _tally(self, action: str, count: int, at: float) -> None:
+        if not count:
+            return
+        self.counts[action] += count
+        if self._counters is not None:
+            self._counters[action].add(count)
+        if self.bus is not None:
+            self.bus.emit(FaultStream(at, action, count))
+
+    @staticmethod
+    def _event_of(item):
+        if isinstance(item, ContactEvent):
+            return item
+        try:
+            return ContactEvent.from_line(item)
+        except MalformedEvent:
+            return None
+
+    def _skewed(self, item):
+        event = self._event_of(item)
+        if event is None:
+            return item
+        skew = float(self.rng.uniform(-self.plan.stream_skew_max_s,
+                                      self.plan.stream_skew_max_s))
+        start = max(0.0, event.start + skew)
+        return ContactEvent(a=event.a, b=event.b, start=start,
+                            end=max(start, event.end + skew))
+
+    def _disconnect_pass(self, items: list, tally: dict) -> list:
+        """Hold items inside a disconnect window; flush when it ends."""
+        plan = self.plan
+        rate = plan.stream_disconnect_rate_per_day / DAY
+        out: list = []
+
+        def flush() -> None:
+            if self._held:
+                out.extend(self._held)
+                tally["disconnect"] += len(self._held)
+                self._held = []
+
+        for item in items:
+            event = self._event_of(item)
+            at = event.start if event is not None else None
+            reconnected = False
+            if self._window_end is not None:
+                if at is None or at < self._window_end:
+                    self._held.append(item)
+                    continue
+                # reconnect: the first live event goes through, then the
+                # backlog follows in one burst *behind* it -- arriving
+                # below the watermark, which is what makes a disconnect
+                # observable downstream
+                reconnected = True
+                self._window_end = None
+            if at is not None and at >= self._next_disconnect:
+                self._window_end = at + float(
+                    self.rng.exponential(plan.stream_mean_disconnect_s)
+                )
+                self._next_disconnect = self._window_end + float(
+                    self.rng.exponential(1.0 / rate)
+                )
+                if reconnected:
+                    flush()
+                self._held.append(item)
+                continue
+            out.append(item)
+            if reconnected:
+                flush()
+        return out
+
+    def _perturb(self, batch: list) -> list:
+        plan = self.plan
+        rng = self.rng
+        tally = {action: 0 for action in _ACTIONS}
+        items: list = []
+        for item in batch:
+            if (plan.stream_skew_rate
+                    and rng.random() < plan.stream_skew_rate):
+                item = self._skewed(item)
+                tally["skew"] += 1
+            if (plan.stream_malformed_rate
+                    and rng.random() < plan.stream_malformed_rate):
+                raw = (item.to_line() if isinstance(item, ContactEvent)
+                       else str(item))
+                items.append("\x00garbage " + raw[: max(0, len(raw) // 2)])
+                tally["malformed"] += 1
+                continue
+            items.append(item)
+            if (plan.stream_duplicate_rate
+                    and rng.random() < plan.stream_duplicate_rate):
+                items.append(item)
+                tally["duplicate"] += 1
+        if plan.stream_reorder_rate:
+            for index in range(len(items) - 1):
+                if rng.random() < plan.stream_reorder_rate:
+                    items[index], items[index + 1] = (
+                        items[index + 1], items[index]
+                    )
+                    tally["reorder"] += 1
+        if plan.stream_disconnect_rate_per_day > 0:
+            items = self._disconnect_pass(items, tally)
+        last = self._event_of(items[-1]) if items else None
+        at = last.start if last is not None else 0.0
+        for action, count in tally.items():
+            self._tally(action, count, at)
+        return items
+
+    async def __aiter__(self):
+        async for batch in self.inner:
+            items = self._perturb(list(batch))
+            if items:
+                yield items
+        if self._held:
+            # stream ended mid-window: the backlog still arrives
+            held, self._held = self._held, []
+            self._tally("disconnect", len(held),
+                        self._window_end or 0.0)
+            yield held

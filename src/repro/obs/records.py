@@ -40,6 +40,11 @@ kind                emitted when
 ``model.predict``   one predicted-vs-measured metric row (theory layer)
 ``build.phase``     wall-clock split of one build stage (scale harness)
 ``service.snapshot`` periodic live-service progress summary
+``service.checkpoint`` the durability layer wrote a consistent manifest
+``service.restore`` a service was rebuilt from a checkpoint directory
+``service.restart`` the supervisor restarted a crashed service child
+``source.reconnect`` a streaming peer reconnected after a disconnect
+``fault.stream``    the stream fault injector perturbed the ingest feed
 ================== ====================================================
 
 The ``fault.*`` family is emitted only by
@@ -510,6 +515,97 @@ class ServiceSnapshot(TraceRecord):
         self.validity = validity
 
 
+class CheckpointWritten(TraceRecord):
+    """The durability layer wrote a watermark-consistent manifest.
+
+    ``time`` is the simulation clock at the checkpoint, ``records`` the
+    number of journal records the manifest covers, ``journal_bytes``
+    the synced journal size, and ``wall_ms`` the manifest write cost
+    (digest + fsync + atomic rename)."""
+
+    kind = "service.checkpoint"
+    __slots__ = ("records", "watermark", "journal_bytes", "wall_ms",
+                 "quarantined")
+
+    def __init__(self, time: float, records: int, watermark: float,
+                 journal_bytes: int, wall_ms: float,
+                 quarantined: int = 0) -> None:
+        self.time = time
+        self.records = records
+        self.watermark = watermark
+        self.journal_bytes = journal_bytes
+        self.wall_ms = wall_ms
+        self.quarantined = quarantined
+
+
+class CheckpointRestored(TraceRecord):
+    """A live service was rebuilt from a checkpoint directory.
+
+    ``records`` journal records were re-ingested to reach ``watermark``;
+    ``cursor`` is where the upstream source resumes (``None`` for
+    non-resumable sources); ``verified`` whether a manifest digest was
+    matched along the way; ``wall_ms`` the total restore cost."""
+
+    kind = "service.restore"
+    __slots__ = ("records", "watermark", "cursor", "verified", "wall_ms")
+
+    def __init__(self, time: float, records: int, watermark: float,
+                 cursor: "int | None", verified: bool,
+                 wall_ms: float) -> None:
+        self.time = time
+        self.records = records
+        self.watermark = watermark
+        self.cursor = cursor
+        self.verified = verified
+        self.wall_ms = wall_ms
+
+
+class ServiceRestart(TraceRecord):
+    """The supervisor restarted a crashed service child.
+
+    Emitted by the supervisor *process* (there is no simulation clock),
+    so ``time`` is wall-clock seconds since the supervisor started."""
+
+    kind = "service.restart"
+    __slots__ = ("attempt", "exit_code", "uptime_s", "backoff_s")
+
+    def __init__(self, time: float, attempt: int, exit_code: int,
+                 uptime_s: float, backoff_s: float) -> None:
+        self.time = time
+        self.attempt = attempt
+        self.exit_code = exit_code
+        self.uptime_s = uptime_s
+        self.backoff_s = backoff_s
+
+
+class SourceReconnect(TraceRecord):
+    """A streaming ingest peer connected after an earlier disconnect."""
+
+    kind = "source.reconnect"
+    __slots__ = ("peer", "peers", "disconnects")
+
+    def __init__(self, time: float, peer: str, peers: int,
+                 disconnects: int) -> None:
+        self.time = time
+        self.peer = peer
+        self.peers = peers
+        self.disconnects = disconnects
+
+
+class FaultStream(TraceRecord):
+    """The stream fault injector perturbed the ingest feed (``action``
+    is ``"malformed"``/``"duplicate"``/``"reorder"``/``"skew"``/
+    ``"disconnect"``)."""
+
+    kind = "fault.stream"
+    __slots__ = ("action", "count")
+
+    def __init__(self, time: float, action: str, count: int) -> None:
+        self.time = time
+        self.action = action
+        self.count = count
+
+
 #: wire name -> record class, for JSONL reconstruction
 RECORD_TYPES: dict[str, Type[TraceRecord]] = {
     cls.kind: cls
@@ -522,6 +618,8 @@ RECORD_TYPES: dict[str, Type[TraceRecord]] = {
         FaultMessageLoss, FaultTruncation, FaultCrash, FaultRecover,
         FaultLinkFlap, FaultOutage,
         ModelPredictRecord, BuildPhaseRecord, ServiceSnapshot,
+        CheckpointWritten, CheckpointRestored, ServiceRestart,
+        SourceReconnect, FaultStream,
     )
 }
 

@@ -142,6 +142,51 @@ def format_trace_report(records: Sequence[TraceRecord],
                      "shed", "p95_ms", "freshness", "validity"],
         )]
 
+    durability_rows = []
+    for record in records:
+        if record.kind == "service.checkpoint":
+            durability_rows.append({
+                "event": "checkpoint",
+                "sim_time": round(record.time, 1),
+                "records": record.records,
+                "detail": (f"{record.journal_bytes:,d} B journal, "
+                           f"{record.wall_ms:.1f} ms"
+                           + (f", {record.quarantined} rejected"
+                              if record.quarantined else "")),
+            })
+        elif record.kind == "service.restore":
+            durability_rows.append({
+                "event": "restore",
+                "sim_time": round(record.time, 1),
+                "records": record.records,
+                "detail": (f"cursor {record.cursor}, "
+                           + ("digest verified" if record.verified
+                              else "unverified")
+                           + f", {record.wall_ms:.0f} ms"),
+            })
+        elif record.kind == "service.restart":
+            durability_rows.append({
+                "event": "restart",
+                "sim_time": round(record.time, 1),
+                "records": record.attempt,
+                "detail": f"exit {record.exit_code} after "
+                          f"{record.uptime_s:.1f}s, backoff "
+                          f"{record.backoff_s:.1f}s",
+            })
+        elif record.kind == "source.reconnect":
+            durability_rows.append({
+                "event": "reconnect",
+                "sim_time": round(record.time, 1),
+                "records": record.disconnects,
+                "detail": f"peer {record.peer} "
+                          f"({record.peers} connected)",
+            })
+    if durability_rows:
+        lines += ["", format_table(
+            durability_rows, title="durability events",
+            columns=["event", "sim_time", "records", "detail"],
+        )]
+
     queries = summary["queries"]
     if queries["issued"]:
         lines += ["", format_table(

@@ -11,9 +11,26 @@ and serves item queries plus freshness/metrics snapshots over HTTP.
 Correctness anchor: replaying a recorded trace at infinite
 time-dilation yields freshness/validity metrics identical to the batch
 run on the same (trace, scheme, seed) -- see
-:mod:`repro.service.runtime` and ``docs/SERVICE.md``.
+:mod:`repro.service.runtime` and ``docs/SERVICE.md``.  The durability
+layer (:mod:`repro.service.durability`, ``docs/DURABILITY.md``) extends
+the same guarantee across a crash: journal + checkpoint + restore keeps
+a killed-and-resumed run ``same_as``-identical to an uninterrupted one,
+and :mod:`repro.service.supervisor` automates the restart.
 """
 
+from repro.service.durability import (
+    BuildSpec,
+    CheckpointError,
+    Checkpointer,
+    DurableSource,
+    Journal,
+    RestoredService,
+    restore_service,
+    restore_service_async,
+    resume_replay_scores,
+    runtime_digest,
+    scan_journal,
+)
 from repro.service.events import ContactEvent, MalformedEvent, QueryResult
 from repro.service.http import HttpApi
 from repro.service.pipeline import Handler, Pipeline
@@ -23,9 +40,11 @@ from repro.service.runtime import (
     replay,
     replay_scores,
     scores_match,
+    serve_and_score,
     service_from_settings,
 )
 from repro.service.sources import FileTailSource, ReplaySource, SocketSource
+from repro.service.supervisor import CrashLoop, RestartPolicy, Supervisor
 
 
 def __getattr__(name: str):
@@ -40,22 +59,37 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "BuildSpec",
+    "CheckpointError",
+    "Checkpointer",
     "ContactEvent",
+    "CrashLoop",
+    "DurableSource",
     "FileTailSource",
     "Handler",
     "HttpApi",
+    "Journal",
     "LiveService",
     "MalformedEvent",
     "Pipeline",
     "QueryResult",
     "ReplaySource",
+    "RestartPolicy",
+    "RestoredService",
     "SocketSource",
+    "Supervisor",
     "build_live_service",
     "generate_load",
     "http_load",
     "replay",
     "replay_scores",
+    "restore_service",
+    "restore_service_async",
+    "resume_replay_scores",
     "run_loadgen",
+    "runtime_digest",
+    "scan_journal",
     "scores_match",
+    "serve_and_score",
     "service_from_settings",
 ]

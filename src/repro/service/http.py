@@ -6,7 +6,9 @@ new dependencies), serving JSON:
 =====================  ====================================================
 path                    response
 =====================  ====================================================
-``/healthz``            ``{"ok": true}`` -- liveness probe
+``/healthz``            health state: ``200 ok`` / ``200
+                        checkpoint_stale`` (degraded) / ``429
+                        shedding`` / ``503 resuming``
 ``/status``             service progress summary (:meth:`LiveService.status`)
 ``/metrics``            full :class:`MetricsRegistry` snapshot
 ``/freshness``          the O(1) accountant snapshot alone
@@ -131,7 +133,7 @@ class HttpApi:
         path = parts.path
         service = self.service
         if path == "/healthz":
-            return 200, {"ok": True}
+            return service.health()
         if path == "/status":
             return 200, service.status()
         if path == "/metrics":
@@ -175,7 +177,8 @@ class HttpApi:
         close: bool = False,
     ) -> None:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                   405: "Method Not Allowed", 503: "Service Unavailable"}
+                   405: "Method Not Allowed", 429: "Too Many Requests",
+                   503: "Service Unavailable"}
         body = json.dumps(_scrub(payload)).encode("utf-8")
         head = (
             f"HTTP/1.1 {status} {reasons.get(status, 'Status')}\r\n"

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import asyncio
 import math
+from pathlib import Path
 from time import perf_counter
 from typing import TYPE_CHECKING, Optional, Sequence
 
@@ -40,6 +41,7 @@ from repro.core.scheme import SchemeConfig, SchemeRuntime, build_simulation
 from repro.mobility.trace import ContactTrace
 from repro.obs.bus import EventBus
 from repro.obs.records import ServiceSnapshot
+from repro.service.durability import CheckpointError, CommittedBatch
 from repro.service.events import ContactEvent, MalformedEvent, QueryResult
 from repro.service.pipeline import Handler, Pipeline
 from repro.service.sources import ReplaySource
@@ -65,6 +67,10 @@ class ContactPlanner(Handler):
         self._malformed = registry.counter("service.shed.malformed")
 
     async def handle(self, batch):
+        if isinstance(batch, CommittedBatch):
+            # already parsed + journaled by DurableSource; pass through
+            # untouched so the commit tag survives to the cache stage
+            return batch
         events = []
         for item in batch:
             if isinstance(item, ContactEvent):
@@ -90,6 +96,11 @@ class CacheStage(Handler):
 
     async def handle(self, events):
         scheduled = self.service.ingest_batch(events)
+        checkpointer = self.service.checkpointer
+        if checkpointer is not None and isinstance(events, CommittedBatch):
+            # the runtime now reflects exactly this journal prefix --
+            # the watermark-consistent point a manifest may describe
+            checkpointer.note_commit(events.commit)
         # One batch of contacts can cascade into many protocol events;
         # yield so the query worker interleaves between batches.
         await asyncio.sleep(0)
@@ -98,6 +109,13 @@ class CacheStage(Handler):
             "sim_time": self.service.runtime.sim.now,
             "watermark": self.service.watermark,
         }
+
+    async def on_finish(self) -> None:
+        # final manifest before the caller runs finish(): past the
+        # horizon the state is no longer an ingest-consistent point
+        checkpointer = self.service.checkpointer
+        if checkpointer is not None:
+            checkpointer.write()
 
 
 class ResultBuilder(Handler):
@@ -154,6 +172,12 @@ class LiveService:
         #: it are late (the clock may already have passed them) and are
         #: counted + dropped rather than breaking monotonicity
         self.watermark = 0.0
+        #: coarse health state; the durability layer flips it to
+        #: ``"resuming"`` while a journal replays (see :meth:`health`)
+        self.state = "ok"
+        #: attached by :meth:`enable_checkpointing` / ``restore_service``
+        self.checkpointer = None
+        self._last_shed_wall: Optional[float] = None
         self._wall_start = perf_counter()
         self._sim_started = False
         self._finished = False
@@ -239,6 +263,94 @@ class LiveService:
             self._g_sim_time.set(self.runtime.sim.now)
         return self.runtime.sim.now
 
+    # -- durability --------------------------------------------------------
+
+    #: a query shed within this many wall seconds keeps ``/healthz``
+    #: reporting ``shedding`` (429) -- long enough for probes to see it
+    SHED_WINDOW_S = 5.0
+
+    def enable_checkpointing(
+        self,
+        directory,
+        spec=None,
+        interval_s: Optional[float] = None,
+        journal=None,
+        spec_fingerprint: Optional[str] = None,
+    ):
+        """Attach a write-ahead journal plus periodic manifests.
+
+        Fresh services pass ``spec`` (a
+        :class:`~repro.service.durability.BuildSpec`, saved into the
+        directory so a later ``--resume`` can rebuild the runtime);
+        ``restore_service`` instead passes the recovered ``journal``.
+        Once enabled, :meth:`serve` transparently wraps any source in a
+        :class:`~repro.service.durability.DurableSource`.
+        """
+        from repro.service.durability import (
+            DEFAULT_INTERVAL_S,
+            JOURNAL_FILE,
+            QUARANTINE_FILE,
+            Checkpointer,
+            Journal,
+            Quarantine,
+        )
+
+        if self.checkpointer is not None:
+            raise RuntimeError("checkpointing is already enabled")
+        directory = Path(directory)
+        if spec is not None:
+            spec.save(directory)
+            spec_fingerprint = spec.fingerprint()
+        if journal is None:
+            journal = Journal.open(directory / JOURNAL_FILE)
+            if journal.records and spec is not None:
+                records = journal.records
+                journal.close()
+                raise CheckpointError(
+                    f"{directory} already holds a journal with {records} "
+                    "committed records; resume from it (--resume) or "
+                    "use a fresh checkpoint directory"
+                )
+        quarantine = Quarantine(
+            directory / QUARANTINE_FILE, registry=self.stats
+        )
+        self.checkpointer = Checkpointer(
+            directory,
+            self,
+            journal,
+            quarantine=quarantine,
+            interval_s=(
+                DEFAULT_INTERVAL_S if interval_s is None else interval_s
+            ),
+            spec_fingerprint=spec_fingerprint,
+        )
+        return self.checkpointer
+
+    def health(self) -> tuple[int, dict]:
+        """Health state plus HTTP code for ``/healthz`` and probes.
+
+        ``ok`` -> 200; ``checkpoint_stale`` (committed state has outrun
+        the manifest for too long) -> 200 but flagged degraded;
+        ``shedding`` (a query was shed within :attr:`SHED_WINDOW_S`)
+        -> 429 so load balancers back off; ``resuming`` (journal replay
+        in progress after a restore) -> 503 so probes wait.
+        """
+        state = self.state
+        if state == "ok":
+            if (
+                self._last_shed_wall is not None
+                and perf_counter() - self._last_shed_wall < self.SHED_WINDOW_S
+            ):
+                state = "shedding"
+            elif self.checkpointer is not None and self.checkpointer.stale():
+                state = "checkpoint_stale"
+        code = 503 if state == "resuming" else 429 if state == "shedding" else 200
+        return code, {
+            "ok": state == "ok",
+            "state": state,
+            "degraded": state != "ok",
+        }
+
     # -- query plane -------------------------------------------------------
 
     def answer_query(self, item_id: int) -> QueryResult:
@@ -302,6 +414,7 @@ class LiveService:
             self._queries.put_nowait(entry)
         except asyncio.QueueFull:
             self._c_shed.add(1)
+            self._last_shed_wall = perf_counter()
             return None
         depth = self._queries.qsize()
         self._g_qdepth.set(depth)
@@ -369,8 +482,21 @@ class LiveService:
         Returns when the source ends (replay finished, tail/socket
         stopped).  The caller decides whether to :meth:`finish` (advance
         to the horizon) and must :meth:`stop` the query worker.
+
+        With checkpointing enabled the source is wrapped in a
+        :class:`~repro.service.durability.DurableSource`, so every event
+        the pipeline sees is journaled before it is ingested.
         """
         await self.start()
+        if self.checkpointer is not None:
+            from repro.service.durability import DurableSource
+
+            if not isinstance(source, DurableSource):
+                source = DurableSource(
+                    source,
+                    self.checkpointer.journal,
+                    self.checkpointer.quarantine,
+                )
         await self.build_pipeline().run(source)
 
     # -- reporting ---------------------------------------------------------
@@ -390,6 +516,7 @@ class LiveService:
         counters = self.stats.counters()
         return {
             "scheme": runtime.config.name,
+            "state": self.health()[1]["state"],
             "sim_time": runtime.sim.now,
             "horizon": self.horizon,
             "watermark": self.watermark,
@@ -577,6 +704,21 @@ def service_from_settings(
     return service, trace
 
 
+async def serve_and_score(service: LiveService, source) -> dict:
+    """Serve ``source`` to exhaustion, finish, and score the run.
+
+    The standard end-of-life sequence: closes the checkpointer (if any)
+    after :meth:`~LiveService.finish`, so the final manifest -- written
+    by the cache stage at end-of-stream -- stays ingest-consistent.
+    """
+    await service.serve(source)
+    service.finish()
+    await service.stop()
+    if service.checkpointer is not None:
+        service.checkpointer.close()
+    return service.score()
+
+
 async def replay(
     service: LiveService,
     contacts,
@@ -584,11 +726,10 @@ async def replay(
     batch_size: int = 256,
 ) -> dict:
     """Serve ``contacts`` to exhaustion, finish, and score the run."""
-    await service.serve(ReplaySource(contacts, dilation=dilation,
-                                     batch_size=batch_size))
-    service.finish()
-    await service.stop()
-    return service.score()
+    return await serve_and_score(
+        service,
+        ReplaySource(contacts, dilation=dilation, batch_size=batch_size),
+    )
 
 
 def replay_scores(
@@ -596,10 +737,25 @@ def replay_scores(
     seed: int,
     scheme: "str | SchemeConfig" = "hdr",
     dilation: float = math.inf,
+    checkpoint=None,
+    checkpoint_interval_s: Optional[float] = None,
     **service_kwargs,
 ) -> dict:
-    """Build + replay + score in one blocking call (tests, bench)."""
+    """Build + replay + score in one blocking call (tests, bench).
+
+    ``checkpoint`` (a directory) journals + manifests the run, so the
+    durable-replay overhead can be measured against the plain replay
+    with everything else identical.
+    """
     service, trace = service_from_settings(
         settings, seed=seed, scheme=scheme, **service_kwargs
     )
+    if checkpoint is not None:
+        from repro.service.durability import BuildSpec
+
+        spec = BuildSpec.from_settings(settings, seed=seed, scheme=scheme,
+                                       **service_kwargs)
+        service.enable_checkpointing(
+            checkpoint, spec=spec, interval_s=checkpoint_interval_s
+        )
     return asyncio.run(replay(service, trace, dilation=dilation))

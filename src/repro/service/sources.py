@@ -16,12 +16,22 @@ All sources are async iterators yielding *batches* (lists) of events or
 raw lines; batching amortises queue and scheduling overhead at high
 event rates.  A shared :class:`asyncio.Event` (``stop``) makes every
 source interruptible for graceful shutdown.
+
+Sources that can be rewound expose a **cursor** (:meth:`cursor`): a
+position token the durability layer journals alongside every committed
+batch so a restored service knows exactly where to resume the feed.
+``ReplaySource`` counts events consumed from the recorded sequence,
+``FileTailSource`` counts consumed bytes (complete lines only -- a held
+partial line is not consumed), and ``SocketSource`` has no cursor (a
+TCP peer cannot be rewound; recovery beyond the journal relies on the
+peer re-sending).
 """
 
 from __future__ import annotations
 
 import asyncio
 import math
+from time import perf_counter
 from typing import AsyncIterator, Optional, Sequence
 
 from repro.service.events import ContactEvent
@@ -38,6 +48,14 @@ class ReplaySource:
     replays an hour of trace per wall minute, ``math.inf`` (default)
     replays with no pacing at all.  Events are yielded in trace order,
     chunked into ``batch_size`` lists.
+
+    ``start_at`` skips the first ``start_at`` events (resume after a
+    restore); :meth:`cursor` stays an *absolute* index into the full
+    sequence so journal cursors remain comparable across resumes.
+    ``pace_from`` anchors finite-dilation pacing: an event is due at
+    ``(event.start - pace_from) / dilation`` wall seconds after the
+    iterator starts, so a resumed replay does not sleep through the
+    already-replayed prefix.
     """
 
     def __init__(
@@ -46,6 +64,8 @@ class ReplaySource:
         dilation: float = math.inf,
         batch_size: int = 256,
         stop: Optional[asyncio.Event] = None,
+        start_at: int = 0,
+        pace_from: float = 0.0,
     ) -> None:
         if dilation <= 0:
             raise ValueError("dilation must be positive")
@@ -56,20 +76,33 @@ class ReplaySource:
             if contacts and isinstance(contacts[0], ContactEvent)
             else ContactEvent.from_contacts(contacts)
         )
+        if not 0 <= start_at <= len(self.events):
+            raise ValueError(
+                f"start_at must be in [0, {len(self.events)}], got {start_at}"
+            )
         self.dilation = float(dilation)
         self.batch_size = batch_size
         self.stop = stop if stop is not None else asyncio.Event()
+        self.start_at = start_at
+        self.pace_from = float(pace_from)
+        #: absolute index of the next event to yield
+        self.position = start_at
+
+    def cursor(self) -> int:
+        """Events consumed from the full recorded sequence so far."""
+        return self.position
 
     async def __aiter__(self) -> AsyncIterator[list[ContactEvent]]:
         loop = asyncio.get_running_loop()
         wall_start = loop.time()
         paced = math.isfinite(self.dilation)
         batch: list[ContactEvent] = []
-        for event in self.events:
+        for index in range(self.start_at, len(self.events)):
+            event = self.events[index]
             if self.stop.is_set():
                 break
             if paced:
-                due = wall_start + event.start / self.dilation
+                due = wall_start + (event.start - self.pace_from) / self.dilation
                 delay = due - loop.time()
                 if delay > 0:
                     if batch:
@@ -83,6 +116,7 @@ class ReplaySource:
                     except asyncio.TimeoutError:
                         pass  # slept until the event is due
             batch.append(event)
+            self.position = index + 1
             if len(batch) >= self.batch_size:
                 yield batch
                 batch = []
@@ -96,6 +130,12 @@ class FileTailSource:
     ``follow=True`` keeps polling for appended lines (like ``tail -f``)
     until ``stop`` is set; ``follow=False`` stops at end-of-file, which
     is the one-shot batch-ingest mode.
+
+    The file is read in binary so :meth:`cursor` is an exact byte
+    offset: it advances only over *complete* lines that have been
+    handed downstream (a trailing partial line stays in the buffer and
+    is not counted until its newline arrives).  ``start_offset`` seeks
+    there on open -- the resume path after a restore.
     """
 
     def __init__(
@@ -105,26 +145,38 @@ class FileTailSource:
         poll_interval: float = 0.2,
         batch_size: int = 256,
         stop: Optional[asyncio.Event] = None,
+        start_offset: int = 0,
     ) -> None:
+        if start_offset < 0:
+            raise ValueError(f"start_offset must be >= 0, got {start_offset}")
         self.path = path
         self.follow = follow
         self.poll_interval = poll_interval
         self.batch_size = batch_size
         self.stop = stop if stop is not None else asyncio.Event()
+        #: byte offset of consumed (complete, yielded-or-batched) lines
+        self.offset = start_offset
+
+    def cursor(self) -> int:
+        """Byte offset the feed has consumed up to (complete lines)."""
+        return self.offset
 
     async def __aiter__(self) -> AsyncIterator[list[str]]:
-        with open(self.path, "r", encoding="utf-8") as handle:
+        with open(self.path, "rb") as handle:
+            handle.seek(self.offset)
             batch: list[str] = []
-            buffer = ""
+            buffer = b""
             while not self.stop.is_set():
                 chunk = handle.read(65536)
                 if chunk:
                     buffer += chunk
-                    lines = buffer.split("\n")
+                    lines = buffer.split(b"\n")
                     buffer = lines.pop()  # hold a trailing partial line
-                    for line in lines:
-                        if line.strip():
-                            batch.append(line)
+                    for raw in lines:
+                        self.offset += len(raw) + 1
+                        text = raw.decode("utf-8", errors="replace").strip()
+                        if text:
+                            batch.append(text)
                         if len(batch) >= self.batch_size:
                             yield batch
                             batch = []
@@ -140,8 +192,10 @@ class FileTailSource:
                     )
                 except asyncio.TimeoutError:
                     pass
-            if buffer.strip():
-                yield [buffer]
+            text = buffer.decode("utf-8", errors="replace").strip()
+            if text:
+                self.offset += len(buffer)
+                yield batch + [text]
             elif batch:
                 yield batch
 
@@ -155,6 +209,15 @@ class SocketSource:
     yields them in batches until ``stop`` is set.  The internal queue is
     bounded: when the pipeline falls behind, readers block on ``put``
     and TCP flow control pushes back on the senders.
+
+    Peer lifecycle is fully isolated from the feed: a reset, half-open,
+    or garbage-spewing client is disconnected and counted
+    (``service.source.disconnects``) without ever raising into the
+    server or wedging the iterator, and a peer that comes back after a
+    disconnect is counted as a reconnect (``service.source.reconnects``
+    plus a ``source.reconnect`` trace record when a bus is wired).
+    ``idle_timeout`` evicts peers that go silent, so a dead-but-open
+    connection cannot hold resources forever.
     """
 
     def __init__(
@@ -164,13 +227,35 @@ class SocketSource:
         batch_size: int = 256,
         queue_size: int = 4096,
         stop: Optional[asyncio.Event] = None,
+        idle_timeout: Optional[float] = None,
+        registry=None,
+        bus=None,
     ) -> None:
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive")
         self.host = host
         self.port = port
         self.batch_size = batch_size
         self.stop = stop if stop is not None else asyncio.Event()
+        self.idle_timeout = idle_timeout
+        self.bus = bus
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
         self._server: Optional[asyncio.AbstractServer] = None
+        self._wall_start = perf_counter()
+        self.peers = 0
+        self.disconnects = 0
+        if registry is not None:
+            self._c_connect = registry.counter("service.source.connects")
+            self._c_disconnect = registry.counter("service.source.disconnects")
+            self._c_reconnect = registry.counter("service.source.reconnects")
+            self._c_idle = registry.counter("service.source.idle_timeouts")
+        else:
+            self._c_connect = self._c_disconnect = None
+            self._c_reconnect = self._c_idle = None
+
+    def cursor(self) -> None:
+        """TCP feeds cannot be rewound -- there is no resume cursor."""
+        return None
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
@@ -185,16 +270,52 @@ class SocketSource:
             self._server = None
 
     async def _client(self, reader: asyncio.StreamReader, writer) -> None:
+        peer = writer.get_extra_info("peername")
+        label = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) else str(peer)
+        reconnect = self.disconnects > 0
+        self.peers += 1
+        if self._c_connect is not None:
+            self._c_connect.add(1)
+            if reconnect:
+                self._c_reconnect.add(1)
+        if reconnect and self.bus is not None:
+            from repro.obs.records import SourceReconnect
+
+            self.bus.emit(SourceReconnect(
+                perf_counter() - self._wall_start, label,
+                self.peers, self.disconnects,
+            ))
         try:
             while not self.stop.is_set():
-                line = await reader.readline()
+                try:
+                    if self.idle_timeout is not None:
+                        line = await asyncio.wait_for(
+                            reader.readline(), timeout=self.idle_timeout
+                        )
+                    else:
+                        line = await reader.readline()
+                except asyncio.TimeoutError:
+                    if self._c_idle is not None:
+                        self._c_idle.add(1)
+                    break
+                except (ConnectionResetError, OSError,
+                        asyncio.IncompleteReadError):
+                    break
                 if not line:
                     break
                 text = line.decode("utf-8", errors="replace").strip()
                 if text:
                     await self._queue.put(text)
         finally:
-            writer.close()
+            self.peers -= 1
+            self.disconnects += 1
+            if self._c_disconnect is not None:
+                self._c_disconnect.add(1)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
 
     async def __aiter__(self) -> AsyncIterator[list[str]]:
         if self._server is None:

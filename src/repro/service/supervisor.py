@@ -1,0 +1,172 @@
+"""Supervised restart of a crashing service child.
+
+``repro serve --supervised`` does not run the service in-process:
+it forks a *child* ``repro serve`` (same arguments, minus
+``--supervised``) and watches it.  When the child dies with a non-zero
+exit -- a crash, an OOM kill, a ``SIGKILL`` -- the supervisor waits out
+a bounded exponential backoff and starts a fresh child, which resumes
+from the latest checkpoint (``--resume``).  The durability layer's
+replay-equivalence guarantee is what makes this safe: a restarted child
+is state-identical to one that never crashed.
+
+Two guard rails keep a broken deployment from flapping forever:
+
+- **bounded backoff** -- restart ``n`` sleeps
+  ``min(cap, base * factor**(n-1))`` seconds, so a struggling child
+  backs off quickly but recovery latency stays bounded;
+- **crash-loop circuit breaker** -- a child that lives at least
+  ``min_healthy_s`` resets the consecutive-crash counter; one that
+  keeps dying young trips the breaker after ``max_restarts``
+  consecutive crashes and the supervisor gives up with an error.
+
+Every restart appends a ``service.restart`` record to
+``restarts.jsonl`` next to the checkpoint (or a chosen log path), so
+``repro report`` can show crash history alongside checkpoint activity.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.obs.records import ServiceRestart
+
+RESTART_LOG = "restarts.jsonl"
+
+
+class CrashLoop(RuntimeError):
+    """The child crashed ``max_restarts`` times in a row; giving up."""
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Backoff + circuit-breaker knobs for :class:`Supervisor`."""
+
+    max_restarts: int = 5
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 30.0
+    min_healthy_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff times must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.min_healthy_s < 0:
+            raise ValueError("min_healthy_s must be >= 0")
+
+    def backoff(self, consecutive: int) -> float:
+        """Sleep before restart number ``consecutive`` (1-based)."""
+        exponent = max(0, consecutive - 1)
+        return min(self.backoff_cap_s,
+                   self.backoff_base_s * self.backoff_factor ** exponent)
+
+
+class Supervisor:
+    """Run a child command, restarting it from checkpoints on crashes.
+
+    ``spawn`` and ``sleep`` are injectable for tests (the default spawn
+    is :class:`subprocess.Popen`).  :meth:`run` blocks until the child
+    exits cleanly (returns its exit code, 0), the circuit breaker trips
+    (:class:`CrashLoop`), or the supervisor itself is interrupted
+    (SIGTERM/SIGINT are forwarded to the child, whose clean-shutdown
+    path then writes a final checkpoint).
+    """
+
+    def __init__(
+        self,
+        command: Sequence[str],
+        policy: RestartPolicy = RestartPolicy(),
+        log_path: Optional[Path] = None,
+        spawn: Optional[Callable[[Sequence[str]], subprocess.Popen]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        echo: Callable[[str], None] = lambda line: print(
+            line, file=sys.stderr, flush=True
+        ),
+    ) -> None:
+        self.command = list(command)
+        self.policy = policy
+        self.log_path = Path(log_path) if log_path is not None else None
+        self._spawn = spawn if spawn is not None else subprocess.Popen
+        self._sleep = sleep
+        self._echo = echo
+        self.restarts = 0
+        self._started = time.monotonic()
+        self._child: Optional[subprocess.Popen] = None
+        self._interrupted = False
+
+    def _log_restart(self, record: ServiceRestart) -> None:
+        if self.log_path is None:
+            return
+        self.log_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.log_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.as_dict()) + "\n")
+
+    def _forward(self, signum, frame) -> None:
+        self._interrupted = True
+        if self._child is not None and self._child.poll() is None:
+            self._child.send_signal(signum)
+
+    def run(self, install_signals: bool = True) -> int:
+        previous = {}
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                previous[signum] = signal.signal(signum, self._forward)
+        try:
+            return self._run()
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+
+    def _run(self) -> int:
+        consecutive = 0
+        while True:
+            started = time.monotonic()
+            self._child = self._spawn(self.command)
+            code = self._child.wait()
+            uptime = time.monotonic() - started
+            self._child = None
+            if code == 0 or self._interrupted:
+                return code
+            if uptime >= self.policy.min_healthy_s:
+                # it ran long enough to be considered healthy before
+                # dying -- not a crash loop, reset the breaker
+                consecutive = 0
+            consecutive += 1
+            if consecutive > self.policy.max_restarts:
+                raise CrashLoop(
+                    f"child crashed {consecutive} times in a row "
+                    f"(exit {code}); circuit breaker open"
+                )
+            self.restarts += 1
+            backoff = self.policy.backoff(consecutive)
+            record = ServiceRestart(
+                time.monotonic() - self._started,
+                self.restarts, code, uptime, backoff,
+            )
+            self._log_restart(record)
+            self._echo(
+                f"supervisor: child exited {code} after {uptime:.1f}s; "
+                f"restart {self.restarts} in {backoff:.1f}s"
+            )
+            if backoff > 0:
+                self._sleep(backoff)
+
+
+def supervise(command: Sequence[str], checkpoint_dir,
+              policy: RestartPolicy = RestartPolicy()) -> int:
+    """Convenience wrapper: supervise ``command`` with the restart log
+    placed next to the checkpoint files."""
+    return Supervisor(
+        command, policy=policy,
+        log_path=Path(checkpoint_dir) / RESTART_LOG,
+    ).run()

@@ -299,7 +299,9 @@ class TestHttpApi:
             await api.start()
             try:
                 status, body = await self._get(api, "/healthz")
-                assert (status, body) == (200, {"ok": True})
+                assert status == 200
+                assert body == {"ok": True, "state": "ok",
+                                "degraded": False}
                 status, body = await self._get(api, "/status")
                 assert status == 200
                 assert body["scheme"] == "hdr"
