@@ -12,6 +12,9 @@ by everyone else over opportunistic contacts.
 - :mod:`repro.caching.ncl` -- caching-node (NCL) selection.
 - :mod:`repro.caching.query` -- query dissemination and response
   delivery, with per-query outcome records.
+- :mod:`repro.caching.onpath` -- LCE/LCD on-path caching of responses.
+- :mod:`repro.caching.placement` -- popularity-budgeted and
+  geographic-spread cache placement policies.
 """
 
 from repro.caching.items import (
@@ -22,6 +25,12 @@ from repro.caching.items import (
 )
 from repro.caching.store import CacheStore, EvictionPolicy
 from repro.caching.ncl import select_caching_nodes
+from repro.caching.onpath import OnPathConfig, attach_onpath
+from repro.caching.placement import (
+    GeographicPlacement,
+    PlacementPolicy,
+    PopularityPlacement,
+)
 from repro.caching.query import QueryManager, QueryRecord
 
 __all__ = [
@@ -30,8 +39,13 @@ __all__ = [
     "DataCatalog",
     "DataItem",
     "EvictionPolicy",
+    "GeographicPlacement",
+    "OnPathConfig",
+    "PlacementPolicy",
+    "PopularityPlacement",
     "QueryManager",
     "QueryRecord",
     "VersionHistory",
+    "attach_onpath",
     "select_caching_nodes",
 ]

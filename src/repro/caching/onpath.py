@@ -1,0 +1,108 @@
+"""On-path caching strategies: LCE and LCD over the response plane.
+
+ICN-style on-path caching (the icarus taxonomy) caches content at nodes
+a response *passes through*, not just at the designated caching nodes:
+
+- **LCE** (leave copy everywhere): every node that takes custody of a
+  response caches the carried version.
+- **LCD** (leave copy down): only the node that receives the response
+  *directly from the answering node* caches it, so each request moves
+  the content one hop down toward the requesters instead of smearing it
+  along the whole path.
+
+In a DTN the "path" is the store-carry-forward custody chain of the
+response message, observed via
+:meth:`repro.routing.base.RoutingAgent.on_custody`.  Ordinary nodes get
+a small bounded :class:`~repro.caching.store.CacheStore` (LRU by
+default) that doubles as their :class:`~repro.caching.query.QueryManager`
+store, so an on-path copy can answer later queries locally or from one
+hop away.  Designated caching nodes reuse their refresh-plane store: a
+passing response carrying a strictly newer version upgrades it (the
+store's version guard makes stale responses a no-op), which flows
+through the freshness accountant like any other refresh.
+
+The extra per-node stores are invisible to the freshness accountant
+(it only tracks designated caching nodes), so the dominant effect is on
+query metrics -- hit rate, delay, freshness of answers -- which is
+exactly the axis these strategies trade on.  Freshness can still shift
+slightly: a response transiting a designated caching node may carry a
+newer version than its store holds, and the resulting upgrade is a
+legitimate refresh the accountant records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.caching.items import CacheEntry
+from repro.caching.store import CacheStore, EvictionPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.routing.base import RoutingAgent
+    from repro.sim.messages import Message
+    from repro.sim.node import Node
+
+STRATEGIES = ("lce", "lcd")
+
+
+@dataclass(frozen=True)
+class OnPathConfig:
+    """Which on-path strategy to run and how big the extra stores are.
+
+    ``capacity`` bounds the per-node on-path store (ordinary nodes
+    only; designated caching nodes keep their configured store).
+
+    >>> OnPathConfig("lce").strategy
+    'lce'
+    >>> OnPathConfig("lcu")
+    Traceback (most recent call last):
+      ...
+    ValueError: unknown on-path strategy 'lcu'; choose from ('lce', 'lcd')
+    """
+
+    strategy: str = "lce"
+    capacity: int = 8
+    policy: EvictionPolicy = EvictionPolicy.LRU
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown on-path strategy {self.strategy!r}; "
+                f"choose from {STRATEGIES}"
+            )
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+
+    def make_store(self) -> CacheStore:
+        """A bounded store for one ordinary node."""
+        return CacheStore(capacity=self.capacity, policy=self.policy)
+
+
+def attach_onpath(agent: "RoutingAgent", store: CacheStore, config: OnPathConfig) -> None:
+    """Cache response custody into ``store`` per ``config.strategy``.
+
+    Registers an ``on_custody`` hook on the node's response-plane
+    routing ``agent``.  LCE caches every custody; LCD caches only when
+    the response came directly from the node that answered it
+    (``payload["served_by"]``).
+    """
+
+    lcd = config.strategy == "lcd"
+
+    def custody(message: "Message", sender: "Node") -> None:
+        payload = message.payload
+        if lcd and sender.node_id != payload["served_by"]:
+            return
+        now = agent.node.sim.now
+        store.put(
+            CacheEntry(
+                item_id=payload["item_id"],
+                version=payload["version"],
+                version_time=payload["version_time"],
+                cached_at=now,
+            ),
+            now,
+        )
+
+    agent.on_custody("response", custody)

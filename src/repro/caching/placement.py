@@ -1,0 +1,207 @@
+"""Cache placement policies: popularity-ranked replicas, geographic spread.
+
+The base experiments replicate *every* item on *every* caching node (the
+paper's setting).  Two related lines relax that:
+
+- **Popularity-ranking cooperative caching** (Wang & Kulkarni): caching
+  nodes cooperate on a shared replica budget, allocating more replicas
+  to popular items and deduplicating placements across nodes instead of
+  all caching the same head items.  :class:`PopularityPlacement` assigns
+  each item a replica count proportional to its Zipf probability and
+  places the replicas round-robin over centrality-ranked caching nodes.
+  Unassigned (node, item) slots stay empty and count against freshness
+  -- the budget/freshness trade-off these schemes measure.
+
+- **Geographic-constraint placement** (Avrachenkov, Goseling &
+  Serbetci): caches should be *spread out*, not clustered where density
+  is highest.  Without coordinates, pairwise contact rate is the
+  natural proximity proxy (nodes that meet constantly are co-located).
+  :class:`GeographicPlacement` selects caching nodes greedily by
+  centrality while rejecting candidates whose contact rate to any
+  already-selected node exceeds a quantile of the positive pairwise
+  rates -- high coverage, low mutual overlap.
+
+Both are frozen dataclasses so they can ride inside pickled sweep-job
+specs, and both plug into :func:`repro.core.scheme.build_simulation`
+via its ``placement`` parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.caching.ncl import DEFAULT_WINDOW
+from repro.contacts.centrality import contact_centrality, rank_nodes
+from repro.contacts.rates import RateTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.caching.items import DataCatalog
+
+
+@dataclass(frozen=True)
+class PlacementPolicy:
+    """Base class: hooks a policy may implement.
+
+    ``select_nodes`` may replace NCL caching-node selection;
+    ``assign`` may restrict which caching nodes hold which item.
+    Returning ``None`` from either keeps the default behaviour.
+    """
+
+    def select_nodes(
+        self,
+        rates: RateTable,
+        k: int,
+        exclude: set[int],
+        window: float = DEFAULT_WINDOW,
+    ) -> Optional[list[int]]:
+        return None
+
+    def assign(
+        self,
+        catalog: "DataCatalog",
+        caching_nodes: list[int],
+        rates: RateTable,
+        window: float = DEFAULT_WINDOW,
+    ) -> Optional[dict[int, tuple[int, ...]]]:
+        return None
+
+
+@dataclass(frozen=True)
+class PopularityPlacement(PlacementPolicy):
+    """Budgeted replica allocation proportional to Zipf popularity.
+
+    The shared budget is ``budget_fraction`` of the full replication
+    grid (``num_items * num_caching_nodes`` slots).  Item ``i`` (in
+    catalog order, most popular first -- the ordering
+    :class:`~repro.workloads.popularity.ZipfPopularity` uses) receives
+    replicas proportional to ``(i + 1) ** -s``, at least one each,
+    apportioned by largest remainder.  Replicas are dealt round-robin
+    over the centrality ranking so no two consecutive-popularity items
+    pile onto the same node -- the cooperative dedup.
+    """
+
+    s: float = 0.8
+    budget_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.s < 0:
+            raise ValueError("s must be non-negative")
+        if not 0 < self.budget_fraction <= 1:
+            raise ValueError("budget_fraction must be in (0, 1]")
+
+    def replica_counts(self, num_items: int, num_nodes: int) -> list[int]:
+        """Replicas per item rank under the budget (sums to the budget).
+
+        >>> PopularityPlacement(s=1.0, budget_fraction=0.5).replica_counts(4, 6)
+        [6, 3, 2, 1]
+        """
+        if num_items < 1 or num_nodes < 1:
+            raise ValueError("need at least one item and one node")
+        budget = max(num_items, int(round(num_items * num_nodes * self.budget_fraction)))
+        budget = min(budget, num_items * num_nodes)
+        pmf = (np.arange(1, num_items + 1, dtype=np.float64)) ** -self.s
+        pmf /= pmf.sum()
+        # Largest-remainder apportionment with a floor of 1 and a
+        # ceiling of num_nodes per item.
+        ideal = pmf * budget
+        counts = np.clip(np.floor(ideal).astype(np.int64), 1, num_nodes)
+        remainder = budget - int(counts.sum())
+        if remainder > 0:
+            frac = ideal - np.floor(ideal)
+            # Most-deserving first; item index breaks ties deterministically.
+            order = np.lexsort((np.arange(num_items), -frac))
+            for idx in list(order) * num_nodes:
+                if remainder == 0:
+                    break
+                if counts[idx] < num_nodes:
+                    counts[idx] += 1
+                    remainder -= 1
+        elif remainder < 0:
+            order = np.lexsort((np.arange(num_items), counts))
+            for idx in list(order)[::-1] * num_nodes:
+                if remainder == 0:
+                    break
+                if counts[idx] > 1:
+                    counts[idx] -= 1
+                    remainder += 1
+        return counts.tolist()
+
+    def assign(
+        self,
+        catalog: "DataCatalog",
+        caching_nodes: list[int],
+        rates: RateTable,
+        window: float = DEFAULT_WINDOW,
+    ) -> dict[int, tuple[int, ...]]:
+        """Per-item caching-node subsets under the replica budget."""
+        nodes = sorted(int(n) for n in caching_nodes)
+        scores = contact_centrality(rates, window, node_ids=nodes)
+        ranked = rank_nodes(scores, top=len(nodes))
+        counts = self.replica_counts(len(catalog), len(nodes))
+        assignment: dict[int, tuple[int, ...]] = {}
+        cursor = 0
+        for item, count in zip(catalog, counts):
+            picked = [ranked[(cursor + j) % len(ranked)] for j in range(count)]
+            assignment[item.item_id] = tuple(sorted(picked))
+            cursor = (cursor + count) % len(ranked)
+        return assignment
+
+
+@dataclass(frozen=True)
+class GeographicPlacement(PlacementPolicy):
+    """Spread-constrained caching-node selection.
+
+    Candidates are ranked by contact centrality and picked greedily; a
+    candidate is rejected while its contact rate to *any* already-picked
+    node exceeds the ``spread_quantile`` quantile of all positive
+    pairwise rates among candidates (it would sit "too close" to an
+    existing cache).  If the constraint would leave the quota unmet,
+    the remaining slots are filled by plain centrality order -- the
+    constraint relaxes rather than fails.
+    """
+
+    spread_quantile: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0 < self.spread_quantile <= 1:
+            raise ValueError("spread_quantile must be in (0, 1]")
+
+    def select_nodes(
+        self,
+        rates: RateTable,
+        k: int,
+        exclude: set[int],
+        window: float = DEFAULT_WINDOW,
+    ) -> list[int]:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        candidates = sorted(rates.nodes() - set(exclude))
+        if len(candidates) < k:
+            raise ValueError(f"only {len(candidates)} candidates for k={k}")
+        scores = contact_centrality(rates, window, node_ids=candidates)
+        ranked = rank_nodes(scores, top=len(candidates))
+        positive = [
+            rates.rate(a, b)
+            for i, a in enumerate(candidates)
+            for b in candidates[i + 1 :]
+            if rates.rate(a, b) > 0
+        ]
+        if not positive:
+            return sorted(ranked[:k])
+        threshold = float(np.quantile(np.asarray(positive), self.spread_quantile))
+        picked: list[int] = []
+        for nid in ranked:
+            if len(picked) == k:
+                break
+            if all(rates.rate(nid, other) <= threshold for other in picked):
+                picked.append(nid)
+        if len(picked) < k:  # constraint too tight: relax to centrality order
+            for nid in ranked:
+                if len(picked) == k:
+                    break
+                if nid not in picked:
+                    picked.append(nid)
+        return sorted(picked)

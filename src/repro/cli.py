@@ -142,6 +142,192 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return status
 
 
+def _load_scenario_or_complain(name_or_path: str, directory: str):
+    """Resolve a scenario by registry name or file path, with clean errors."""
+    from repro.scenarios import ScenarioError, load_registry, load_scenario
+
+    if name_or_path.endswith(".toml") or "/" in name_or_path:
+        try:
+            return load_scenario(name_or_path)
+        except (OSError, ScenarioError) as exc:
+            print(f"error: {exc}")
+            return None
+    try:
+        registry = load_registry(directory)
+    except (OSError, ScenarioError) as exc:
+        print(f"error: {exc}")
+        return None
+    scenario = registry.get(name_or_path)
+    if scenario is None:
+        known = ", ".join(sorted(registry)) or "(none)"
+        print(f"error: unknown scenario {name_or_path!r} in {directory}/ "
+              f"(known: {known})")
+        return None
+    return scenario
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import ScenarioError, load_registry
+
+    if args.action == "list":
+        try:
+            registry = load_registry(args.dir)
+        except (OSError, ScenarioError) as exc:
+            print(f"error: {exc}")
+            return 2
+        if not registry:
+            print(f"no scenarios found under {args.dir}/")
+            return 0
+        from repro.scenarios import grid_size
+
+        width = max(len(name) for name in registry)
+        for name, scenario in sorted(registry.items()):
+            points = grid_size(scenario)
+            suffix = f"  [{points} grid points]" if points > 1 else ""
+            print(f"{name:<{width}}  {scenario.title}{suffix}")
+        return 0
+
+    if args.action == "validate":
+        from repro.scenarios import expand_grid, load_scenario
+        from repro.scenarios.compose import sweep_point_from_doc
+
+        targets = args.names or sorted(
+            str(p) for p in Path(args.dir).glob("*.toml")
+        )
+        if not targets:
+            print(f"no scenarios found under {args.dir}/")
+            return 2
+        status = 0
+        for target in targets:
+            if target.endswith(".toml") or "/" in target:
+                try:
+                    scenario = load_scenario(target)
+                except (OSError, ScenarioError) as exc:
+                    print(f"error: {exc}")
+                    status = 2
+                    continue
+            else:
+                scenario = _load_scenario_or_complain(target, args.dir)
+                if scenario is None:
+                    status = 2
+                    continue
+            try:
+                points = expand_grid(scenario)
+                for point in points:
+                    sweep_point_from_doc(point.doc)
+            except (ScenarioError, ValueError) as exc:
+                print(f"error: {exc}")
+                status = 2
+                continue
+            plural = "s" if len(points) != 1 else ""
+            print(f"ok: {scenario.path} ({scenario.name}, "
+                  f"{len(points)} grid point{plural})")
+        return status
+
+    scenario = _load_scenario_or_complain(args.name, args.dir)
+    if scenario is None:
+        return 2
+
+    if args.action == "show":
+        from repro.scenarios import expand_grid
+
+        print(f"name:        {scenario.name}")
+        if scenario.title:
+            print(f"title:       {scenario.title}")
+        print(f"file:        {scenario.path}")
+        if scenario.description:
+            print(f"description: {scenario.description}")
+        print(f"schemes:     {', '.join(scenario.schemes)}")
+        points = expand_grid(scenario)
+        print(f"grid points: {len(points)}")
+        for point in points:
+            if point.overrides:
+                overrides = ", ".join(f"{k}={v}" for k, v in point.overrides)
+                print(f"  {point.index}: {point.label}  ({overrides})")
+            else:
+                print(f"  {point.index}: {point.label}")
+        return 0
+
+    # action == "run"
+    from contextlib import nullcontext
+
+    from repro.analysis.aggregate import summarize
+    from repro.experiments.parallel import run_sweep
+    from repro.experiments.reliability import SweepIncomplete
+    from repro.scenarios import ScenarioError as _ScenarioError
+    from repro.scenarios import compose_scenario
+
+    if _resolve_jobs_or_complain(args.jobs) is None:
+        return 2
+    try:
+        grid_points, sweep_points = compose_scenario(scenario)
+    except (_ScenarioError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    checkpointing = (args.resume or args.checkpoint is not None
+                     or args.job_timeout is not None
+                     or args.max_retries is not None)
+    if checkpointing:
+        from repro.experiments.checkpoint import SweepJournal
+        from repro.experiments.reliability import (
+            RetryPolicy,
+            resilient_execution,
+        )
+
+        try:
+            policy = RetryPolicy(
+                max_retries=2 if args.max_retries is None else args.max_retries,
+                job_timeout=args.job_timeout,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+        directory = Path(args.checkpoint or ".repro-checkpoint") / scenario.name
+        journal = SweepJournal(directory, resume=args.resume)
+        exp_context = resilient_execution(policy, journal)
+    else:
+        exp_context = nullcontext()
+    if args.trace:
+        from repro.experiments.runner import trace_output
+
+        context = trace_output(args.trace)
+    else:
+        context = nullcontext()
+    title = scenario.title or scenario.name
+    print(f"== scenario {scenario.name}: {title} ==")
+    with context as sink:
+        try:
+            with exp_context:
+                merged = run_sweep(sweep_points, jobs=args.jobs)
+        except SweepIncomplete as exc:
+            print(f"error: {scenario.name} incomplete: {exc}")
+            return 1
+        for grid_point, results in zip(grid_points, merged):
+            print(f"\n[{grid_point.index}] {grid_point.label}")
+            for scheme in sweep_points[grid_point.index].schemes:
+                runs = results.get(scheme, [])
+                if not runs:
+                    print(f"  {scheme:<10} (no completed runs)")
+                    continue
+                freshness = summarize([m.freshness for m in runs])
+                line = (f"  {scheme:<10} freshness {freshness.mean:.3f} "
+                        f"+/- {freshness.ci95:.3f}")
+                if sweep_points[grid_point.index].with_queries:
+                    answered = summarize(
+                        [m.query_answer_ratio for m in runs]
+                    )
+                    line += f"  answered {answered.mean:.3f}"
+                line += f"  ({len(runs)} seed(s))"
+                print(line)
+    if checkpointing:
+        print(f"\ncheckpoint journal: {journal.journal_path} "
+              "(re-run with --resume to skip completed jobs)")
+    if sink is not None and sink.output is not None:
+        print(f"trace written to {sink.output} "
+              f"({len(sink.entries)} file(s); inspect with 'repro report')")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs.export import load_trace, write_chrome_trace
     from repro.obs.report import format_trace_report
@@ -869,6 +1055,54 @@ def build_parser() -> argparse.ArgumentParser:
                             help="retries per failed/timed-out/crashed job "
                             "(default 2 when fault tolerance is active)")
 
+    scenario_parser = sub.add_parser(
+        "scenario", help="declarative TOML scenarios (see docs/SCENARIOS.md)"
+    )
+    scenario_sub = scenario_parser.add_subparsers(dest="action", required=True)
+
+    def _scenario_dir(p):
+        p.add_argument("--dir", metavar="DIR", default="scenarios",
+                       help="scenario registry directory (default: scenarios/)")
+
+    sc_list = scenario_sub.add_parser("list", help="list registered scenarios")
+    _scenario_dir(sc_list)
+
+    sc_show = scenario_sub.add_parser(
+        "show", help="describe one scenario and its grid points"
+    )
+    sc_show.add_argument("name", help="registry name or path to a .toml file")
+    _scenario_dir(sc_show)
+
+    sc_validate = scenario_sub.add_parser(
+        "validate", help="validate scenario files (all in --dir by default)"
+    )
+    sc_validate.add_argument("names", nargs="*",
+                             help="registry names or .toml paths; default: "
+                             "every file under --dir")
+    _scenario_dir(sc_validate)
+
+    sc_run = scenario_sub.add_parser("run", help="run a scenario's sweep grid")
+    sc_run.add_argument("name", help="registry name or path to a .toml file")
+    _scenario_dir(sc_run)
+    sc_run.add_argument("--jobs", "-j", type=int, default=None,
+                        help="parallel worker processes (0 or -1 = one per "
+                        "CPU; default: $REPRO_JOBS, else serial)")
+    sc_run.add_argument("--trace", metavar="FILE", default=None,
+                        help="write per-run JSONL event traces")
+    sc_run.add_argument("--checkpoint", metavar="DIR", default=None,
+                        help="journal completed jobs under DIR/<name> "
+                        "(default: .repro-checkpoint)")
+    sc_run.add_argument("--resume", action="store_true",
+                        help="skip jobs already journaled by a matching "
+                        "interrupted run")
+    sc_run.add_argument("--job-timeout", type=float, metavar="SECONDS",
+                        default=None,
+                        help="per-job wall-clock limit; timed-out jobs retry "
+                        "(needs --jobs > 1)")
+    sc_run.add_argument("--max-retries", type=int, metavar="N", default=None,
+                        help="retries per failed/timed-out/crashed job "
+                        "(default 2 when fault tolerance is active)")
+
     report_parser = sub.add_parser(
         "report", help="summarise a JSONL event trace (or manifest)"
     )
@@ -1079,6 +1313,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "experiments": _cmd_experiments,
         "run": _cmd_run,
+        "scenario": _cmd_scenario,
         "report": _cmd_report,
         "trace-stats": _cmd_trace_stats,
         "analyze-trace": _cmd_analyze_trace,

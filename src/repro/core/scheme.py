@@ -42,6 +42,8 @@ import numpy as np
 
 from repro.caching.items import CacheEntry, DataCatalog, VersionHistory
 from repro.caching.ncl import select_caching_nodes
+from repro.caching.onpath import OnPathConfig, attach_onpath
+from repro.caching.placement import PlacementPolicy
 from repro.caching.query import QueryManager
 from repro.caching.store import CacheStore, EvictionPolicy
 from repro.contacts import rates as rates_module
@@ -169,6 +171,11 @@ class SchemeRuntime:
     update_log: list[RefreshUpdate]
     stats: StatsRegistry
     query_managers: dict[int, QueryManager] = field(default_factory=dict)
+    #: extra bounded stores installed on ordinary nodes by on-path caching
+    onpath_stores: dict[int, CacheStore] = field(default_factory=dict)
+    #: per-item caching-node subsets when a placement policy restricted
+    #: replication (``None`` = full replication on every caching node)
+    assignment: Optional[dict[int, tuple[int, ...]]] = None
     accountant: Optional[FreshnessAccountant] = None
     #: the :class:`~repro.obs.bus.EventBus` every instrumentation point
     #: was wired to, or ``None`` for an untraced (zero-overhead) run
@@ -333,6 +340,8 @@ def build_simulation(
     ncl_metric: str = "contact",
     bus: Optional[EventBus] = None,
     backend: str = "object",
+    placement: Optional[PlacementPolicy] = None,
+    onpath: Optional[OnPathConfig] = None,
 ) -> "SchemeRuntime":
     """Wire a complete refresh simulation over ``trace``.
 
@@ -350,6 +359,16 @@ def build_simulation(
     records are scoped per run by the caller via
     :func:`repro.sim.messages.set_message_trace`, because the hook is
     process-global.)
+
+    ``placement`` is an optional
+    :class:`~repro.caching.placement.PlacementPolicy`: its
+    ``select_nodes`` hook may replace NCL caching-node selection
+    (geographic spread), and its ``assign`` hook may restrict which
+    caching nodes replicate which item (popularity-budgeted
+    cooperative caching); unassigned slots stay empty and count
+    against freshness.  ``onpath`` enables LCE/LCD on-path caching of
+    responses (requires ``with_queries=True``); see
+    :mod:`repro.caching.onpath`.
 
     ``backend`` selects the execution engine: ``"object"`` (default) is
     this per-node object graph; ``"soa"`` returns a
@@ -372,6 +391,10 @@ def build_simulation(
             unsupported.append("record_transfers")
         if bus is not None:
             unsupported.append("bus")
+        if placement is not None:
+            unsupported.append("placement")
+        if onpath is not None:
+            unsupported.append("onpath")
         if unsupported:
             raise ValueError(
                 f"the soa backend does not support {unsupported}; "
@@ -399,6 +422,8 @@ def build_simulation(
             "the object backend needs a ContactTrace; pass "
             "trace.to_trace() or use backend='soa' for ContactArrays"
         )
+    if onpath is not None and not with_queries:
+        raise ValueError("onpath caching requires with_queries=True")
     config = SCHEMES[scheme] if isinstance(scheme, str) else scheme
     rng = np.random.default_rng(seed)
     stats = MetricsRegistry()
@@ -412,6 +437,10 @@ def build_simulation(
     if unknown_sources:
         raise ValueError(f"catalog sources {unknown_sources} are not in the trace")
 
+    if caching_nodes is None and placement is not None:
+        caching_nodes = placement.select_nodes(
+            rates, num_caching_nodes, exclude=set(sources), window=centrality_window
+        )
     if caching_nodes is None:
         caching_nodes = select_caching_nodes(
             rates,
@@ -426,12 +455,31 @@ def build_simulation(
     if overlap:
         raise ValueError(f"nodes {sorted(overlap)} are both sources and caching nodes")
 
+    assignment: Optional[dict[int, tuple[int, ...]]] = None
+    if placement is not None:
+        assignment = placement.assign(
+            catalog, caching_nodes, rates, window=centrality_window
+        )
+    if assignment is not None:
+        stray = {
+            nid for members in assignment.values() for nid in members
+        } - set(caching_nodes)
+        if stray:
+            raise ValueError(
+                f"placement assigned non-caching nodes {sorted(stray)}"
+            )
+
     # -- structures -------------------------------------------------------
     trees: dict[int, RefreshTree] = {}
     plans: dict[tuple[int, int, int], RelayPlan] = {}
     if config.structure in ("tree", "star"):
         for item in catalog:
-            tree = _build_structure(config, item.source, caching_nodes, rates, rng)
+            members = (
+                list(assignment[item.item_id])
+                if assignment is not None and item.item_id in assignment
+                else caching_nodes
+            )
+            tree = _build_structure(config, item.source, members, rates, rng)
             trees[item.item_id] = tree
             if config.max_relays >= 0:
                 _plan_tree(
@@ -533,14 +581,24 @@ def build_simulation(
 
     # -- query plane ------------------------------------------------------------
     query_managers: dict[int, QueryManager] = {}
+    onpath_stores: dict[int, CacheStore] = {}
     if with_queries:
         for nid, node in nodes.items():
-            node.add_handler(
-                EpidemicRouting(stats=stats, kinds=frozenset({"response"}))
+            response_agent = EpidemicRouting(
+                stats=stats, kinds=frozenset({"response"})
             )
+            node.add_handler(response_agent)
+            store = stores.get(nid)
+            if onpath is not None and store is None and nid not in source_handlers:
+                # Ordinary node: give it a bounded on-path store that
+                # doubles as its query manager's local cache.
+                store = onpath.make_store()
+                onpath_stores[nid] = store
+            if onpath is not None and store is not None:
+                attach_onpath(response_agent, store, onpath)
             manager = QueryManager(
                 catalog=catalog,
-                store=stores.get(nid),
+                store=store,
                 hop_limit=query_hop_limit,
                 query_ttl=query_ttl,
                 stats=stats,
@@ -553,8 +611,14 @@ def build_simulation(
                 manager.add_provider(source_handler.answer_provider)
 
     # -- warm start: version 1 everywhere at t=0 ---------------------------------
+    # (under a placement assignment, only the assigned replicas)
     for item in catalog:
-        for nid in caching_nodes:
+        members = (
+            assignment[item.item_id]
+            if assignment is not None and item.item_id in assignment
+            else caching_nodes
+        )
+        for nid in members:
             handler = refresh_handlers.get(nid)
             if handler is not None:
                 handler.seed_entry(item, version=1, version_time=0.0)
@@ -585,6 +649,8 @@ def build_simulation(
         update_log=update_log,
         stats=stats,
         query_managers=query_managers,
+        onpath_stores=onpath_stores,
+        assignment=assignment,
         accountant=accountant,
         trace=bus,
     )

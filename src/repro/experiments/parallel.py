@@ -36,10 +36,13 @@ from repro.experiments.artifacts import SeedArtifacts, cache_put, seed_artifacts
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.caching.items import DataCatalog
+    from repro.caching.onpath import OnPathConfig
+    from repro.caching.placement import PlacementPolicy
     from repro.core.scheme import SchemeConfig
     from repro.experiments.config import Settings
     from repro.experiments.runner import RunMetrics
     from repro.faults.plan import FaultPlan
+    from repro.workloads.cycles import QueryCycle
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -134,6 +137,14 @@ class Job:
     #: :func:`~repro.experiments.runner.fault_injection` context -- like
     #: the trace path, the plan travels inside the spec)
     fault_plan: Optional["FaultPlan"] = None
+    #: execution engine for this job ("object" or "soa")
+    backend: str = "object"
+    #: optional placement policy restricting replication
+    placement: Optional["PlacementPolicy"] = None
+    #: optional LCE/LCD on-path caching of responses
+    onpath: Optional["OnPathConfig"] = None
+    #: optional inhomogeneous query cycle (diurnal / flash crowd)
+    cycle: Optional["QueryCycle"] = None
 
 
 @dataclass(frozen=True)
@@ -147,6 +158,15 @@ class SweepPoint:
     #: per-point fault plan; ``None`` falls back to the ambient
     #: :func:`~repro.experiments.runner.fault_injection` context
     fault_plan: Optional["FaultPlan"] = None
+    #: execution engine ("object" or "soa"; soa has no query plane,
+    #: faults, placement or on-path caching)
+    backend: str = "object"
+    #: optional placement policy restricting replication
+    placement: Optional["PlacementPolicy"] = None
+    #: optional LCE/LCD on-path caching (requires ``with_queries``)
+    onpath: Optional["OnPathConfig"] = None
+    #: optional inhomogeneous query cycle (requires ``with_queries``)
+    cycle: Optional["QueryCycle"] = None
 
 
 def execute_job(job: Job) -> "RunMetrics":
@@ -167,6 +187,10 @@ def execute_job(job: Job) -> "RunMetrics":
         rates=job.artifacts.rates,
         trace_path=job.trace_path,
         fault_plan=job.fault_plan,
+        backend=job.backend,
+        placement=job.placement,
+        onpath=job.onpath,
+        cycle=job.cycle,
     )
 
 
@@ -204,6 +228,35 @@ def validate_points(points: Sequence[SweepPoint]) -> None:
                 point.fault_plan.validate()
             except ValueError as exc:
                 raise ValueError(f"{where}: invalid fault plan: {exc}") from None
+        if point.backend not in ("object", "soa"):
+            raise ValueError(
+                f"{where}: unknown backend {point.backend!r} (object|soa)"
+            )
+        if point.backend == "soa":
+            unsupported = [
+                name
+                for name, active in (
+                    ("with_queries", point.with_queries),
+                    ("fault_plan", point.fault_plan is not None),
+                    ("placement", point.placement is not None),
+                    ("onpath", point.onpath is not None),
+                    ("cycle", point.cycle is not None),
+                )
+                if active
+            ]
+            if unsupported:
+                raise ValueError(
+                    f"{where}: the soa backend does not support "
+                    f"{', '.join(unsupported)}"
+                )
+        if point.onpath is not None and not point.with_queries:
+            raise ValueError(
+                f"{where}: onpath caching requires with_queries=true"
+            )
+        if point.cycle is not None and not point.with_queries:
+            raise ValueError(
+                f"{where}: a query cycle requires with_queries=true"
+            )
 
 
 def build_jobs(points: Sequence[SweepPoint]) -> list[Job]:
@@ -251,6 +304,10 @@ def build_jobs(points: Sequence[SweepPoint]) -> list[Job]:
                         num_caching_nodes=point.num_caching_nodes,
                         trace_path=trace_path,
                         fault_plan=fault_plan,
+                        backend=point.backend,
+                        placement=point.placement,
+                        onpath=point.onpath,
+                        cycle=point.cycle,
                     )
                 )
                 job_id += 1

@@ -24,7 +24,7 @@ import re
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -41,8 +41,13 @@ from repro.experiments.artifacts import (
 )
 from repro.experiments.config import Settings
 from repro.mobility.trace import ContactTrace
+from repro.workloads.cycles import QueryCycle, schedule_cycle_queries
 from repro.workloads.popularity import ZipfPopularity
 from repro.workloads.queries import schedule_queries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.caching.onpath import OnPathConfig
+    from repro.caching.placement import PlacementPolicy
 
 
 @dataclass
@@ -290,6 +295,9 @@ def run_once(
     trace_path: Optional[str | Path] = None,
     fault_plan=None,
     backend: str = "object",
+    placement: "Optional[PlacementPolicy]" = None,
+    onpath: "Optional[OnPathConfig]" = None,
+    cycle: Optional[QueryCycle] = None,
 ) -> RunMetrics:
     """Wire, run and score one simulation.
 
@@ -310,7 +318,17 @@ def run_once(
     ``backend="soa"`` runs the vectorised struct-of-arrays engine --
     metric-identical to the object graph but without queries, tracing
     or fault injection (those raise).
+
+    ``placement`` restricts replication via a
+    :class:`~repro.caching.placement.PlacementPolicy`; ``onpath``
+    enables LCE/LCD response caching; ``cycle`` replaces the flat
+    Poisson query process with an inhomogeneous one (diurnal and/or
+    flash-crowd).  All three default off and leave default runs
+    bit-identical; ``onpath`` and ``cycle`` require
+    ``with_queries=True``.
     """
+    if cycle is not None and not with_queries:
+        raise ValueError("a query cycle requires with_queries=True")
     if catalog is None:
         catalog = make_catalog(settings, choose_sources(trace, settings))
     if trace_path is None and _TRACE_SINK is not None:
@@ -325,6 +343,10 @@ def run_once(
             unsupported.append("tracing")
         if fault_plan is not None:
             unsupported.append("fault injection")
+        if placement is not None:
+            unsupported.append("placement")
+        if onpath is not None:
+            unsupported.append("onpath caching")
         if unsupported:
             raise ValueError(
                 f"the soa backend does not support {', '.join(unsupported)}; "
@@ -351,6 +373,8 @@ def run_once(
             refresh_jitter=settings.refresh_jitter,
             bus=bus,
             backend=backend,
+            placement=placement,
+            onpath=onpath,
         )
         horizon = settings.duration
         if fault_plan is not None:
@@ -360,13 +384,23 @@ def run_once(
         runtime.install_freshness_probe(interval=settings.probe_interval, until=horizon)
         if with_queries:
             popularity = ZipfPopularity(catalog.item_ids, s=settings.zipf_exponent)
-            schedule_queries(
-                runtime,
-                rate_per_node=settings.query_rate,
-                duration=horizon,
-                rng=np.random.default_rng(seed * 7919 + 17),
-                popularity=popularity,
-            )
+            if cycle is not None:
+                schedule_cycle_queries(
+                    runtime,
+                    rate_per_node=settings.query_rate,
+                    duration=horizon,
+                    rng=np.random.default_rng(seed * 7919 + 17),
+                    cycle=cycle,
+                    popularity=popularity,
+                )
+            else:
+                schedule_queries(
+                    runtime,
+                    rate_per_node=settings.query_rate,
+                    duration=horizon,
+                    rng=np.random.default_rng(seed * 7919 + 17),
+                    popularity=popularity,
+                )
         runtime.run(until=horizon)
     finally:
         if bus is not None:

@@ -11,6 +11,8 @@ list of pairwise contacts.  This package provides:
   generators in the spirit of HCMM.
 - :mod:`repro.mobility.rwp` -- a spatial random-waypoint model that
   derives contacts from node positions.
+- :mod:`repro.mobility.levy` -- a Levy-walk vehicular model with
+  power-law flight lengths (registered as the ``vehicular`` profile).
 - :mod:`repro.mobility.workingday` -- a behavioural model (homes,
   offices, meeting spots) whose contacts emerge from daily routines.
 - :mod:`repro.mobility.loaders` -- parsers for on-disk trace formats
@@ -29,6 +31,7 @@ from repro.mobility.synthetic import (
     homogeneous_rate_matrix,
 )
 from repro.mobility.community import CommunityModel, DiurnalModel
+from repro.mobility.levy import LevyWalkModel, truncated_pareto
 from repro.mobility.rwp import RandomWaypointModel
 from repro.mobility.workingday import WorkingDayModel
 from repro.mobility.loaders import (
@@ -44,6 +47,7 @@ __all__ = [
     "ContactArrays",
     "ContactTrace",
     "DiurnalModel",
+    "LevyWalkModel",
     "PoissonContactModel",
     "RandomWaypointModel",
     "TraceProfile",
@@ -56,5 +60,6 @@ __all__ = [
     "list_profiles",
     "load_one_report",
     "load_pairwise",
+    "truncated_pareto",
     "write_pairwise",
 ]

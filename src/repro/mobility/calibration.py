@@ -33,6 +33,7 @@ from typing import Callable
 import numpy as np
 
 from repro.mobility.community import DEFAULT_ACTIVITY, CommunityModel, DiurnalModel
+from repro.mobility.levy import LevyWalkModel
 from repro.mobility.trace import ContactTrace
 
 DAY = 86400.0
@@ -94,6 +95,27 @@ def _infocom06_model(rng: np.random.Generator) -> CommunityModel:
     )
 
 
+def _vehicular_model(rng: np.random.Generator) -> LevyWalkModel:
+    # rng is unused at construction: LevyWalkModel draws all randomness
+    # inside generate(), like the spatial RWP model.
+    return LevyWalkModel(
+        n=40,
+        area=3000.0,
+        radio_range=100.0,    # DSRC-ish reach
+        alpha=1.2,            # heavy vehicular flight tail
+        beta=1.6,
+        flight_min=50.0,
+        pause_min=30.0,
+        pause_max=1800.0,     # parked up to 30 min
+        speed_min=2.0,
+        speed_max=20.0,       # ~70 km/h ceiling
+        speed_scale=0.8,
+        speed_exponent=0.5,
+        sample_interval=15.0,
+        name="vehicular",
+    )
+
+
 def _small_model(rng: np.random.Generator) -> CommunityModel:
     return CommunityModel(
         n=20,
@@ -135,6 +157,18 @@ _PROFILES: dict[str, TraceProfile] = {
         num_nodes=20,
         default_duration=2 * DAY,
         make_model=_small_model,
+    ),
+    "vehicular": TraceProfile(
+        name="vehicular",
+        description=(
+            "Levy-walk vehicular trace: 40 nodes on a 3 km arena with "
+            "power-law flight lengths and length-coupled speeds. Spatial, "
+            "so no diurnal thinning (the walk itself sets the tempo)."
+        ),
+        num_nodes=40,
+        default_duration=2 * DAY,
+        make_model=_vehicular_model,
+        diurnal=False,
     ),
 }
 

@@ -60,6 +60,7 @@ class RoutingAgent(ProtocolHandler):
         self.stats = stats or StatsRegistry()
         self.deliveries: list[DeliveryRecord] = []
         self._callbacks: dict[str, list[Callable[[Message], None]]] = {}
+        self._custody_callbacks: dict[str, list[Callable[[Message, Node], None]]] = {}
 
     # -- public API for upper layers -------------------------------------
 
@@ -82,6 +83,16 @@ class RoutingAgent(ProtocolHandler):
     def on_delivery(self, kind: str, callback: Callable[[Message], None]) -> None:
         """Register ``callback(message)`` for delivered messages of ``kind``."""
         self._callbacks.setdefault(kind, []).append(callback)
+
+    def on_custody(self, kind: str, callback: Callable[[Message, Node], None]) -> None:
+        """Register ``callback(message, sender)`` for each first receipt.
+
+        Fires once per message this node receives of ``kind`` -- at
+        intermediate custody *and* at the destination -- before any
+        delivery callbacks.  On-path caching hangs off this hook; it
+        costs nothing when no callback is registered.
+        """
+        self._custody_callbacks.setdefault(kind, []).append(callback)
 
     # -- policy hooks -------------------------------------------------------
 
@@ -116,12 +127,15 @@ class RoutingAgent(ProtocolHandler):
         if message.dst == self.node.node_id:
             if message.msg_id not in self.seen:
                 self.seen.add(message.msg_id)
+                self._notify_custody(message, sender)
                 self._deliver(message)
             return
         if message.msg_id in self.seen and message.msg_id not in self.buffer:
             # Already relayed and dropped (or delivered): ignore the dup.
             self.stats.counter("routing.duplicates").add(1)
             return
+        if message.msg_id not in self.seen:
+            self._notify_custody(message, sender)
         self.seen.add(message.msg_id)
         self._store(message)
         # Opportunistically forward *this* message onward to other open
@@ -136,6 +150,12 @@ class RoutingAgent(ProtocolHandler):
                 self._try_forward_one(stored, self.node.network.nodes[peer_id])
 
     # -- internals ---------------------------------------------------------
+
+    def _notify_custody(self, message: Message, sender: Node) -> None:
+        if not self._custody_callbacks:
+            return
+        for callback in self._custody_callbacks.get(message.kind, []):
+            callback(message, sender)
 
     def _try_forward_all(self, peer: Node) -> None:
         for message in list(self.buffer.values()):

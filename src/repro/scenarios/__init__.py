@@ -1,0 +1,56 @@
+"""Declarative scenario registry.
+
+Scenarios are TOML files composing a mobility profile, experiment
+settings, refresh schemes, query-workload cycles, on-path caching,
+placement policies, fault plans and sweep grids -- runnable via
+``repro scenario run`` without writing experiment code.
+
+- :mod:`repro.scenarios.registry` -- schema, eager validation, loading.
+- :mod:`repro.scenarios.grid` -- cartesian sweep-grid expansion.
+- :mod:`repro.scenarios.compose` -- documents -> runnable sweep points.
+
+See ``docs/SCENARIOS.md`` for the full schema reference and cookbook.
+"""
+
+from repro.scenarios.compose import (
+    compose_scenario,
+    cycle_from_doc,
+    faults_from_doc,
+    onpath_from_doc,
+    placement_from_doc,
+    settings_from_doc,
+    sweep_point_from_doc,
+)
+from repro.scenarios.grid import GridPoint, apply_overrides, expand_grid, grid_size
+from repro.scenarios.registry import (
+    DEFAULT_SCENARIO_DIR,
+    SCHEMA,
+    Scenario,
+    ScenarioError,
+    SchemaKey,
+    load_registry,
+    load_scenario,
+    validate_doc,
+)
+
+__all__ = [
+    "DEFAULT_SCENARIO_DIR",
+    "GridPoint",
+    "SCHEMA",
+    "Scenario",
+    "ScenarioError",
+    "SchemaKey",
+    "apply_overrides",
+    "compose_scenario",
+    "cycle_from_doc",
+    "expand_grid",
+    "faults_from_doc",
+    "grid_size",
+    "load_registry",
+    "load_scenario",
+    "onpath_from_doc",
+    "placement_from_doc",
+    "settings_from_doc",
+    "sweep_point_from_doc",
+    "validate_doc",
+]

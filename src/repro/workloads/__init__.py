@@ -2,5 +2,21 @@
 
 from repro.workloads.popularity import UniformPopularity, ZipfPopularity
 from repro.workloads.queries import schedule_queries
+from repro.workloads.cycles import (
+    DEFAULT_QUERY_ACTIVITY,
+    DiurnalCycle,
+    FlashCrowd,
+    QueryCycle,
+    schedule_cycle_queries,
+)
 
-__all__ = ["UniformPopularity", "ZipfPopularity", "schedule_queries"]
+__all__ = [
+    "DEFAULT_QUERY_ACTIVITY",
+    "DiurnalCycle",
+    "FlashCrowd",
+    "QueryCycle",
+    "UniformPopularity",
+    "ZipfPopularity",
+    "schedule_cycle_queries",
+    "schedule_queries",
+]

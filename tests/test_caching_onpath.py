@@ -1,0 +1,87 @@
+"""Tests for LCE/LCD on-path caching of query responses."""
+
+import pytest
+
+from repro.caching.onpath import OnPathConfig
+from repro.caching.store import EvictionPolicy
+from repro.experiments.config import Settings
+from repro.experiments.runner import make_trace, run_once
+
+
+class TestOnPathConfig:
+    def test_defaults(self):
+        config = OnPathConfig()
+        assert config.strategy == "lce"
+        assert config.capacity == 8
+        assert config.policy is EvictionPolicy.LRU
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown on-path strategy"):
+            OnPathConfig(strategy="mcd")
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            OnPathConfig(capacity=0)
+
+    def test_make_store_bounded(self):
+        store = OnPathConfig(capacity=3).make_store()
+        assert store.capacity == 3
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return Settings.fast().with_(query_rate_per_day=6.0)
+
+
+@pytest.fixture(scope="module")
+def trace(settings):
+    return make_trace(settings, seed=1)
+
+
+class TestOnPathIntegration:
+    def test_requires_queries(self, settings, trace):
+        with pytest.raises(ValueError, match="with_queries"):
+            run_once(trace, "hdr", settings, seed=1,
+                     onpath=OnPathConfig())
+
+    def test_soa_rejects_onpath(self, settings, trace):
+        with pytest.raises(ValueError, match="soa backend"):
+            run_once(trace, "hdr", settings, seed=1, backend="soa",
+                     onpath=OnPathConfig())
+
+    def test_default_run_unchanged_without_onpath(self, settings, trace):
+        baseline = run_once(trace, "hdr", settings, seed=1,
+                            with_queries=True)
+        again = run_once(trace, "hdr", settings, seed=1, with_queries=True)
+        assert baseline.same_as(again)
+
+    def test_lce_and_lcd_move_query_metrics(self, settings, trace):
+        """The query schedule is untouched (same issued count) and the
+        on-path copies answer more queries locally; freshness may only
+        shift via legitimate response-driven upgrades at designated
+        caching nodes."""
+        baseline = run_once(trace, "hdr", settings, seed=1,
+                            with_queries=True)
+        for strategy in ("lce", "lcd"):
+            cached = run_once(trace, "hdr", settings, seed=1,
+                              with_queries=True,
+                              onpath=OnPathConfig(strategy=strategy))
+            assert cached.queries_issued == baseline.queries_issued
+            assert cached.query_answer_ratio >= baseline.query_answer_ratio
+            assert abs(cached.freshness - baseline.freshness) < 0.05
+
+    def test_runtime_gets_onpath_stores(self, settings, trace):
+        from repro.core.scheme import build_simulation
+        from repro.experiments.runner import choose_sources, make_catalog
+
+        catalog = make_catalog(settings, choose_sources(trace, settings))
+        runtime = build_simulation(
+            trace, catalog, scheme="hdr",
+            num_caching_nodes=settings.num_caching_nodes, seed=1,
+            with_queries=True, onpath=OnPathConfig(capacity=2),
+        )
+        assert runtime.onpath_stores
+        # ordinary nodes got bounded stores; caching nodes kept theirs
+        for nid, store in runtime.onpath_stores.items():
+            assert store.capacity == 2
+            assert nid not in runtime.caching_nodes

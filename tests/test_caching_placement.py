@@ -1,0 +1,168 @@
+"""Tests for popularity-budgeted and geographic-spread cache placement."""
+
+import pytest
+
+from repro.caching.items import DataCatalog, DataItem
+from repro.caching.placement import (
+    GeographicPlacement,
+    PlacementPolicy,
+    PopularityPlacement,
+)
+from repro.contacts.rates import RateTable
+
+
+def make_catalog(num_items=4):
+    return DataCatalog([
+        DataItem(item_id=i, source=99, refresh_interval=100.0, lifetime=1e6)
+        for i in range(num_items)
+    ])
+
+
+def clustered_rates() -> RateTable:
+    """Two tight clusters {0,1,2} and {3,4,5} with a weak bridge."""
+    table = RateTable()
+    for cluster in ((0, 1, 2), (3, 4, 5)):
+        for i, a in enumerate(cluster):
+            for b in cluster[i + 1:]:
+                table.set(a, b, 5.0)
+    table.set(2, 3, 0.01)
+    return table
+
+
+class TestBasePolicy:
+    def test_hooks_default_to_none(self):
+        policy = PlacementPolicy()
+        assert policy.select_nodes(RateTable(), 1, set()) is None
+        assert policy.assign(make_catalog(), [0], RateTable()) is None
+
+
+class TestPopularityPlacement:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PopularityPlacement(s=-0.1)
+        with pytest.raises(ValueError):
+            PopularityPlacement(budget_fraction=0.0)
+        with pytest.raises(ValueError):
+            PopularityPlacement(budget_fraction=1.5)
+
+    def test_replica_counts_sum_to_budget(self):
+        policy = PopularityPlacement(s=1.0, budget_fraction=0.5)
+        counts = policy.replica_counts(4, 6)
+        assert sum(counts) == round(4 * 6 * 0.5)
+        assert counts == sorted(counts, reverse=True)
+
+    def test_replica_counts_floor_and_ceiling(self):
+        counts = PopularityPlacement(s=2.0, budget_fraction=0.25).replica_counts(8, 4)
+        assert all(1 <= c <= 4 for c in counts)
+
+    def test_full_budget_is_full_replication(self):
+        counts = PopularityPlacement(budget_fraction=1.0).replica_counts(3, 5)
+        assert counts == [5, 5, 5]
+
+    def test_assign_covers_every_item(self):
+        policy = PopularityPlacement(s=1.0, budget_fraction=0.5)
+        catalog = make_catalog(4)
+        nodes = [0, 1, 2, 3, 4, 5]
+        assignment = policy.assign(catalog, nodes, clustered_rates())
+        assert set(assignment) == {0, 1, 2, 3}
+        counts = policy.replica_counts(4, 6)
+        for item_id, members in assignment.items():
+            assert len(members) == counts[item_id]
+            assert set(members) <= set(nodes)
+            assert list(members) == sorted(members)
+
+    def test_assign_deterministic(self):
+        policy = PopularityPlacement()
+        catalog = make_catalog(4)
+        rates = clustered_rates()
+        first = policy.assign(catalog, [0, 1, 2, 3, 4, 5], rates)
+        second = policy.assign(catalog, [0, 1, 2, 3, 4, 5], rates)
+        assert first == second
+
+
+class TestGeographicPlacement:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GeographicPlacement(spread_quantile=0.0)
+        with pytest.raises(ValueError):
+            GeographicPlacement(spread_quantile=1.5)
+
+    def test_spreads_across_clusters(self):
+        picked = GeographicPlacement(spread_quantile=0.1).select_nodes(
+            clustered_rates(), k=2, exclude=set()
+        )
+        assert len(picked) == 2
+        # one node from each tight cluster, never two clustermates
+        assert len({nid // 3 for nid in picked}) == 2
+
+    def test_relaxes_when_unsatisfiable(self):
+        # quota larger than what the constraint admits: fills by centrality
+        picked = GeographicPlacement(spread_quantile=0.1).select_nodes(
+            clustered_rates(), k=5, exclude=set()
+        )
+        assert len(picked) == 5
+        assert picked == sorted(picked)
+
+    def test_exclude_respected(self):
+        picked = GeographicPlacement().select_nodes(
+            clustered_rates(), k=2, exclude={0, 1, 2}
+        )
+        assert set(picked) <= {3, 4, 5}
+
+    def test_too_few_candidates(self):
+        with pytest.raises(ValueError):
+            GeographicPlacement().select_nodes(clustered_rates(), k=10,
+                                               exclude=set())
+
+
+class TestPlacementIntegration:
+    def test_build_simulation_uses_assignment(self):
+        from repro.core.scheme import build_simulation
+        from repro.experiments.config import Settings
+        from repro.experiments.runner import (
+            choose_sources,
+            make_catalog as settings_catalog,
+            make_trace,
+        )
+
+        settings = Settings.fast()
+        trace = make_trace(settings, seed=1)
+        catalog = settings_catalog(settings, choose_sources(trace, settings))
+        runtime = build_simulation(
+            trace, catalog, scheme="hdr",
+            num_caching_nodes=settings.num_caching_nodes, seed=1,
+            placement=PopularityPlacement(s=1.0, budget_fraction=0.5),
+        )
+        assert runtime.assignment is not None
+        counts = PopularityPlacement(s=1.0, budget_fraction=0.5).replica_counts(
+            len(catalog), len(runtime.caching_nodes)
+        )
+        for rank, item_id in enumerate(sorted(runtime.assignment)):
+            assert len(runtime.assignment[item_id]) == counts[rank]
+        # refresh trees only span the assigned members
+        for item_id, tree in runtime.trees.items():
+            assert set(tree.members) <= set(runtime.assignment[item_id])
+
+    def test_geographic_replaces_ncl_selection(self):
+        from repro.core.scheme import build_simulation
+        from repro.experiments.config import Settings
+        from repro.experiments.runner import (
+            choose_sources,
+            make_catalog as settings_catalog,
+            make_trace,
+        )
+
+        settings = Settings.fast()
+        trace = make_trace(settings, seed=1)
+        catalog = settings_catalog(settings, choose_sources(trace, settings))
+        baseline = build_simulation(
+            trace, catalog, scheme="hdr",
+            num_caching_nodes=settings.num_caching_nodes, seed=1,
+        )
+        spread = build_simulation(
+            trace, catalog, scheme="hdr",
+            num_caching_nodes=settings.num_caching_nodes, seed=1,
+            placement=GeographicPlacement(spread_quantile=0.5),
+        )
+        assert len(spread.caching_nodes) == len(baseline.caching_nodes)
+        assert spread.assignment is None

@@ -9,16 +9,26 @@ import doctest
 
 import pytest
 
+import repro.caching.onpath
+import repro.caching.placement
 import repro.contacts.rates
 import repro.core.replication
+import repro.mobility.levy
+import repro.scenarios.grid
 import repro.theory.model
 import repro.theory.validate
+import repro.workloads.cycles
 
 MODULES = [
     repro.core.replication,
     repro.contacts.rates,
     repro.theory.model,
     repro.theory.validate,
+    repro.mobility.levy,
+    repro.workloads.cycles,
+    repro.caching.onpath,
+    repro.caching.placement,
+    repro.scenarios.grid,
 ]
 
 

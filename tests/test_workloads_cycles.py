@@ -1,0 +1,134 @@
+"""Tests for diurnal/flash-crowd query cycles and thinned scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.cycles import (
+    DEFAULT_QUERY_ACTIVITY,
+    HOUR,
+    DiurnalCycle,
+    FlashCrowd,
+    QueryCycle,
+    schedule_cycle_queries,
+)
+
+
+class TestDiurnalCycle:
+    def test_default_profile(self):
+        cycle = DiurnalCycle()
+        assert cycle.activity == DEFAULT_QUERY_ACTIVITY
+        assert len(cycle.activity) == 24
+
+    def test_hour_lookup_and_wrap(self):
+        cycle = DiurnalCycle(activity=tuple(range(24)))
+        assert cycle.rate_multiplier(0.0) == 0
+        assert cycle.rate_multiplier(5.5 * HOUR) == 5
+        assert cycle.rate_multiplier(29.0 * HOUR) == 5  # wraps past midnight
+
+    def test_peak(self):
+        cycle = DiurnalCycle(activity=(0.5,) * 23 + (3.0,))
+        assert cycle.peak() == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalCycle(activity=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            DiurnalCycle(activity=(-1.0,) + (1.0,) * 23)
+        with pytest.raises(ValueError):
+            DiurnalCycle(activity=(0.0,) * 24)
+
+
+class TestFlashCrowd:
+    def test_window(self):
+        crowd = FlashCrowd(start=10 * HOUR, length=2 * HOUR)
+        assert not crowd.active_at(9.9 * HOUR)
+        assert crowd.active_at(11 * HOUR)
+        assert not crowd.active_at(12.1 * HOUR)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowd(start=-1.0, length=10.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(start=0.0, length=0.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(start=0.0, length=1.0, boost=0.5)
+        with pytest.raises(ValueError):
+            FlashCrowd(start=0.0, length=1.0, focus=0)
+        with pytest.raises(ValueError):
+            FlashCrowd(start=0.0, length=1.0, focus_weight=1.5)
+
+
+class TestQueryCycle:
+    def test_flat_cycle(self):
+        cycle = QueryCycle()
+        assert cycle.rate_multiplier(123.0) == 1.0
+        assert cycle.peak() == 1.0
+        assert cycle.crowd_at(123.0) is None
+
+    def test_combined_multiplier(self):
+        cycle = QueryCycle(
+            diurnal=DiurnalCycle(activity=(2.0,) * 24),
+            crowds=(FlashCrowd(start=0.0, length=HOUR, boost=3.0),),
+        )
+        assert cycle.rate_multiplier(0.5 * HOUR) == 6.0
+        assert cycle.rate_multiplier(2 * HOUR) == 2.0
+        assert cycle.peak() == 6.0
+
+    def test_crowd_at_returns_active_crowd(self):
+        crowd = FlashCrowd(start=HOUR, length=HOUR)
+        cycle = QueryCycle(crowds=(crowd,))
+        assert cycle.crowd_at(1.5 * HOUR) is crowd
+        assert cycle.crowd_at(3 * HOUR) is None
+
+
+def build_runtime(with_queries=True):
+    from repro.core.scheme import build_simulation
+    from repro.experiments.config import Settings
+    from repro.experiments.runner import choose_sources, make_catalog, make_trace
+
+    settings = Settings.fast()
+    trace = make_trace(settings, seed=1)
+    catalog = make_catalog(settings, choose_sources(trace, settings))
+    return build_simulation(trace, catalog, scheme="hdr",
+                            num_caching_nodes=settings.num_caching_nodes,
+                            seed=1, with_queries=with_queries)
+
+
+@pytest.fixture(scope="module")
+def runtime():
+    return build_runtime()
+
+
+class TestScheduleCycleQueries:
+    def test_deterministic(self, runtime):
+        cycle = QueryCycle(diurnal=DiurnalCycle())
+        a = schedule_cycle_queries(runtime, rate_per_node=4 / 86400.0,
+                                   duration=86400.0,
+                                   rng=np.random.default_rng(11), cycle=cycle)
+        b = schedule_cycle_queries(runtime, rate_per_node=4 / 86400.0,
+                                   duration=86400.0,
+                                   rng=np.random.default_rng(11), cycle=cycle)
+        assert a == b
+
+    def test_boost_schedules_more_queries(self, runtime):
+        flat = QueryCycle()
+        boosted = QueryCycle(
+            crowds=(FlashCrowd(start=0.0, length=86400.0, boost=4.0),)
+        )
+        rate = 4 / 86400.0
+        base = schedule_cycle_queries(runtime, rate, 86400.0,
+                                      np.random.default_rng(3), flat)
+        more = schedule_cycle_queries(runtime, rate, 86400.0,
+                                      np.random.default_rng(3), boosted)
+        assert more > base
+
+    def test_rejects_negative_rate(self, runtime):
+        with pytest.raises(ValueError):
+            schedule_cycle_queries(runtime, -1.0, 10.0,
+                                   np.random.default_rng(0), QueryCycle())
+
+    def test_rejects_runtime_without_queries(self):
+        bare = build_runtime(with_queries=False)
+        with pytest.raises(ValueError):
+            schedule_cycle_queries(bare, 1.0, 10.0,
+                                   np.random.default_rng(0), QueryCycle())
